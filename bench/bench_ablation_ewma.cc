@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation beyond the paper's figures: the Dynamic allocator's
+ * hyperparameters — EWMA weights (alpha, beta) and the adjustment
+ * interval T. The paper picks alpha=0.9, beta=0.5, T=1000
+ * empirically; this sweep shows the sensitivity.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace mgsec;
+using namespace mgsec::bench;
+
+namespace
+{
+
+double
+meanTime(const DynamicPadTable::Params &params, const BenchArgs &args)
+{
+    std::vector<double> times;
+    for (const auto &wl : workloadNames()) {
+        ExperimentConfig cfg;
+        cfg.scheme = OtpScheme::Dynamic;
+        cfg.batching = true;
+        cfg.scale = args.scale;
+        Norm n;
+        for (int s = 1; s <= args.seeds; ++s) {
+            cfg.seed = static_cast<std::uint64_t>(s);
+            SystemConfig sc = makeSystemConfig(cfg);
+            sc.security.dynParams = params;
+            ExperimentConfig base = cfg;
+            base.scheme = OtpScheme::Unsecure;
+            base.batching = false;
+            const RunResult b = runWorkload(wl, base);
+            MultiGpuSystem sys(
+                sc, makeProfile(wl, cfg.scale, cfg.numGpus));
+            const RunResult r = sys.run();
+            n.time += normalizedTime(r, b) / args.seeds;
+        }
+        times.push_back(n.time);
+    }
+    return mean(times);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Ablation — Dynamic EWMA hyperparameters",
+           "sensitivity of Table III's alpha=0.9, beta=0.5, T=1000");
+
+    Table ta({"alpha", "norm.time"});
+    for (double a : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+        DynamicPadTable::Params p;
+        p.alpha = a;
+        ta.addRow({fmtDouble(a, 1), fmtDouble(meanTime(p, args))});
+    }
+    ta.print(std::cout);
+    std::cout << "\n";
+
+    Table tb({"beta", "norm.time"});
+    for (double b : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        DynamicPadTable::Params p;
+        p.beta = b;
+        tb.addRow({fmtDouble(b, 1), fmtDouble(meanTime(p, args))});
+    }
+    tb.print(std::cout);
+    std::cout << "\n";
+
+    Table tc({"T (cycles)", "norm.time"});
+    for (Cycles t : {250u, 500u, 1000u, 2000u, 4000u}) {
+        DynamicPadTable::Params p;
+        p.interval = t;
+        tc.addRow({std::to_string(t), fmtDouble(meanTime(p, args))});
+    }
+    tc.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 26: sensitivity to AES-GCM latency (10-40 cycles) for
+ * Private, Cached, and Ours on the 4-GPU system. The paper's point:
+ * faster crypto barely helps, because the metadata bandwidth cost
+ * remains.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace mgsec;
+using namespace mgsec::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 26 — AES-GCM latency sensitivity",
+           "Fig. 26 (10/20/30/40-cycle AES-GCM)");
+
+    Table t({"latency", "Private", "Cached", "Ours"});
+    for (Cycles lat : {10u, 20u, 30u, 40u}) {
+        std::vector<double> cp, cc, co;
+        for (const auto &wl : workloadNames()) {
+            ExperimentConfig cfg;
+            cfg.aesLatency = lat;
+            cfg.scheme = OtpScheme::Private;
+            cp.push_back(runNormalized(wl, cfg, args).time);
+            cfg.scheme = OtpScheme::Cached;
+            cc.push_back(runNormalized(wl, cfg, args).time);
+            cfg.scheme = OtpScheme::Dynamic;
+            cfg.batching = true;
+            co.push_back(runNormalized(wl, cfg, args).time);
+        }
+        t.addRow({std::to_string(lat) + " cyc", fmtDouble(mean(cp)),
+                  fmtDouble(mean(cc)), fmtDouble(mean(co))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: 40 -> 10 cycles moves Private only from "
+                 "19.5% to 17.3% degradation (ours: batching keeps "
+                 "its edge at every latency)\n";
+    return 0;
+}

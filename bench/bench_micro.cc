@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the hot building blocks:
+ * the functional crypto, the pad pipeline, the event queue, and the
+ * cache model. Useful to keep simulator throughput honest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "crypto/aes.hh"
+#include "crypto/gcm.hh"
+#include "crypto/otp.hh"
+#include "mem/cache.hh"
+#include "secure/pad_pipeline.hh"
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+using namespace mgsec::crypto;
+
+static void
+BM_AesBlockEncrypt(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{};
+    key[0] = 1;
+    Aes128 aes(key);
+    Block b{};
+    for (auto _ : state) {
+        aes.encryptBlock(b);
+        benchmark::DoNotOptimize(b);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlockEncrypt);
+
+static void
+BM_GcmSeal64B(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{};
+    key[5] = 7;
+    AesGcm gcm(key);
+    Iv96 iv{};
+    std::vector<std::uint8_t> pt(64, 0x5a);
+    for (auto _ : state) {
+        auto sealed = gcm.seal(iv, pt);
+        benchmark::DoNotOptimize(sealed);
+        iv[0]++;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_GcmSeal64B);
+
+static void
+BM_PadDerive(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{};
+    key[1] = 3;
+    PadFactory f(key);
+    std::uint64_t ctr = 0;
+    for (auto _ : state) {
+        auto pad = f.derive(1, 2, ctr++);
+        benchmark::DoNotOptimize(pad);
+    }
+}
+BENCHMARK(BM_PadDerive);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<Tick>(i * 3 % 997),
+                        [&sink]() { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_PadPipelineClaim(benchmark::State &state)
+{
+    PadPipeline p;
+    p.init(0, 40, static_cast<std::uint32_t>(state.range(0)), 0);
+    Tick now = 0;
+    for (auto _ : state) {
+        auto c = p.claim(now);
+        now = std::max(now, c.ready);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_PadPipelineClaim)->Arg(1)->Arg(4)->Arg(16);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    CacheParams params;
+    params.size = 2 * 1024 * 1024;
+    params.assoc = 16;
+    Cache c("c", eq, params);
+    std::mt19937_64 rng(7);
+    for (auto _ : state) {
+        const std::uint64_t addr = (rng() % (1 << 22)) & ~63ULL;
+        auto res = c.access(addr, false);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table I: on-chip storage overhead and total OTP entries of the
+ * Private scheme, for 4-32 GPUs and OTP 1x-16x. Closed form from
+ * the per-entry cost in Section IV-D (valid bit + 512 b encryption
+ * pad + 128 b authentication pad + 64 b counter = 88.125 B).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "secure/otp_types.hh"
+
+using namespace mgsec;
+
+int
+main()
+{
+    bench::banner("Table I — Private OTP buffer storage",
+                  "Table I (storage and entry counts)");
+
+    Table t({"GPUs", "metric", "1x", "2x", "4x", "8x", "16x"});
+    for (std::uint32_t gpus : {4u, 8u, 16u, 32u}) {
+        std::vector<std::string> storage = {std::to_string(gpus),
+                                            "Storage"};
+        std::vector<std::string> count = {std::to_string(gpus),
+                                          "# of OTPs"};
+        for (std::uint32_t mult : {1u, 2u, 4u, 8u, 16u}) {
+            // Each GPU keeps quota entries for every peer (the other
+            // GPUs plus the CPU) in both directions.
+            const std::uint64_t per_gpu =
+                static_cast<std::uint64_t>(gpus) * 2 * mult;
+            const std::uint64_t total = per_gpu * gpus;
+            const double kb =
+                static_cast<double>(total) * kOtpEntryBytes / 1024.0;
+            storage.push_back(fmtDouble(kb, 2) + " KB");
+            count.push_back(std::to_string(total) + " OTPs");
+        }
+        t.addRow(storage);
+        t.addRow(count);
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper reference points: 4 GPUs/1x = 2.75 KB & 32 "
+                 "OTPs; 32 GPUs/16x = 2820 KB & 32768 OTPs\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: seed-averaged
+ * normalized metrics and common CLI handling.
+ *
+ * Every bench accepts:
+ *   --scale S   workload size multiplier (default 0.6)
+ *   --seeds N   seeds averaged per configuration (default 2)
+ * so CI runs can trade accuracy for speed.
+ */
+
+#ifndef MGSEC_BENCH_COMMON_HH
+#define MGSEC_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace mgsec::bench
+{
+
+struct BenchArgs
+{
+    double scale = 0.6;
+    int seeds = 2;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+                a.scale = std::atof(argv[++i]);
+            else if (std::strcmp(argv[i], "--seeds") == 0 &&
+                     i + 1 < argc)
+                a.seeds = std::atoi(argv[++i]);
+        }
+        if (a.scale <= 0.0)
+            a.scale = 0.6;
+        if (a.seeds < 1)
+            a.seeds = 1;
+        return a;
+    }
+};
+
+/** Seed-averaged metrics of one configuration vs. its baseline. */
+struct Norm
+{
+    double time = 0.0;
+    double traffic = 0.0;
+    RunResult sample; ///< last secure run (for OTP stats etc.)
+};
+
+inline Norm
+runNormalized(const std::string &wl, ExperimentConfig cfg,
+              const BenchArgs &args)
+{
+    Norm n;
+    cfg.scale = args.scale;
+    for (int s = 1; s <= args.seeds; ++s) {
+        cfg.seed = static_cast<std::uint64_t>(s);
+        ExperimentConfig base = cfg;
+        base.scheme = OtpScheme::Unsecure;
+        base.batching = false;
+        base.countMetadataBytes = true;
+        const RunResult b = runWorkload(wl, base);
+        const RunResult r = runWorkload(wl, cfg);
+        n.time += normalizedTime(r, b) / args.seeds;
+        n.traffic += normalizedTraffic(r, b) / args.seeds;
+        if (s == args.seeds)
+            n.sample = r;
+    }
+    return n;
+}
+
+/** An unnormalized, single-seed run (pattern/burstiness figures). */
+inline RunResult
+runOnce(const std::string &wl, ExperimentConfig cfg,
+        const BenchArgs &args)
+{
+    cfg.scale = args.scale;
+    return runWorkload(wl, cfg);
+}
+
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::cout << "=== " << title << "\n"
+              << "    reproduces: " << paper_ref << "\n\n";
+}
+
+} // namespace mgsec::bench
+
+#endif // MGSEC_BENCH_COMMON_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Functional walk-through of the secure communication pipeline
+ * (paper Figs. 4, 5, 19, 20) using the real cryptography:
+ *
+ *   1. sender derives a one-time pad from (MsgCTR, sender,
+ *      receiver), encrypts a cache block with one XOR, and MACs it;
+ *   2. receiver re-derives the pad, decrypts, verifies;
+ *   3. a tampered block and a replayed counter are both caught;
+ *   4. sixteen blocks form a batch whose single batched MsgMAC
+ *      verifies them all at once (Sec. IV-C).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "crypto/otp.hh"
+
+using namespace mgsec;
+using namespace mgsec::crypto;
+
+namespace
+{
+
+void
+hexdump(const char *label, const std::uint8_t *data, std::size_t n)
+{
+    std::printf("%-18s", label);
+    for (std::size_t i = 0; i < n; ++i)
+        std::printf("%02x", data[i]);
+    std::printf("%s\n", n < 16 ? "" : "...");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "mgsec secure pipeline demo (functional layer)\n\n";
+
+    // The CPU and GPUs exchange this key at boot (Sec. IV-A).
+    std::array<std::uint8_t, 16> session_key{};
+    for (int i = 0; i < 16; ++i)
+        session_key[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(0x42 + i);
+    PadFactory gpu1(session_key);
+    PadFactory gpu2(session_key);
+
+    const NodeId src = 1, dst = 2;
+    std::uint64_t ctr = 0;
+
+    // --- one protected cache block ------------------------------
+    BlockPayload plaintext;
+    for (std::size_t i = 0; i < plaintext.size(); ++i)
+        plaintext[i] = static_cast<std::uint8_t>(i);
+
+    const MessagePad pad = gpu1.derive(src, dst, ctr);
+    const BlockPayload cipher = PadFactory::crypt(plaintext, pad);
+    const MsgMac mac = gpu1.mac(cipher, src, dst, ctr, pad);
+
+    hexdump("plaintext:", plaintext.data(), 8);
+    hexdump("ciphertext:", cipher.data(), 8);
+    hexdump("MsgMAC:", mac.data(), mac.size());
+
+    // Receiver side: same pad from the same counter.
+    const MessagePad rpad = gpu2.derive(src, dst, ctr);
+    const bool mac_ok = gpu2.mac(cipher, src, dst, ctr, rpad) == mac;
+    const BlockPayload recovered = PadFactory::crypt(cipher, rpad);
+    std::cout << "receiver MAC check: "
+              << (mac_ok ? "PASS" : "FAIL") << ", payload "
+              << (recovered == plaintext ? "intact" : "CORRUPT")
+              << "\n\n";
+
+    // --- tamper detection ----------------------------------------
+    BlockPayload tampered = cipher;
+    tampered[13] ^= 0x80;
+    const bool tamper_caught =
+        gpu2.mac(tampered, src, dst, ctr, rpad) != mac;
+    std::cout << "bit-flipped block detected: "
+              << (tamper_caught ? "YES" : "NO") << "\n";
+
+    // --- replay detection ----------------------------------------
+    // An attacker resends (cipher, mac) later. The receiver's
+    // freshness rule: counters must strictly increase per pair, so
+    // seeing ctr 0 again is rejected without any crypto work.
+    std::uint64_t last_seen = ctr;
+    const bool replay_caught = ctr <= last_seen;
+    std::cout << "replayed counter rejected: "
+              << (replay_caught ? "YES" : "NO") << "\n\n";
+
+    // --- batched MsgMAC (Sec. IV-C) -------------------------------
+    const std::size_t n = 16;
+    std::vector<MsgMac> macs;
+    MessagePad first_pad{};
+    std::vector<BlockPayload> wire;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t c = ++ctr;
+        const MessagePad p = gpu1.derive(src, dst, c);
+        if (i == 0)
+            first_pad = p;
+        BlockPayload blk;
+        for (std::size_t b = 0; b < blk.size(); ++b)
+            blk[b] = static_cast<std::uint8_t>(i * 64 + b);
+        const BlockPayload cb = PadFactory::crypt(blk, p);
+        wire.push_back(cb);
+        macs.push_back(gpu1.mac(cb, src, dst, c, p));
+    }
+    const MsgMac batched = gpu1.batchMac(macs, first_pad);
+    hexdump("batched MsgMAC:", batched.data(), batched.size());
+
+    // Receiver recomputes per-block MACs into its MsgMAC storage,
+    // concatenates in order, and checks once (lazy verification).
+    std::vector<MsgMac> recomputed;
+    std::uint64_t c = ctr - n;
+    for (std::size_t i = 0; i < n; ++i) {
+        ++c;
+        const MessagePad p = gpu2.derive(src, dst, c);
+        recomputed.push_back(gpu2.mac(wire[i], src, dst, c, p));
+    }
+    const bool batch_ok =
+        gpu2.batchMac(recomputed, gpu2.derive(src, dst, ctr - n + 1)) ==
+        batched;
+    std::cout << "batch of " << n << " blocks verified with one MAC: "
+              << (batch_ok ? "YES" : "NO") << "\n";
+    std::cout << "wire cost: " << n << " MsgMACs ("
+              << n * sizeof(MsgMac) << " B) replaced by one ("
+              << sizeof(MsgMac) << " B) plus a 1 B length field\n";
+    return batch_ok && mac_ok && tamper_caught ? 0 : 1;
+}

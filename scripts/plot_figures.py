@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from recorded bench output.
+
+Reads the text tables produced by the bench binaries (either a file
+captured with `for b in build/bench/*; do $b; done > bench_output.txt`
+or individual bench outputs) and renders matplotlib bar charts that
+mirror the paper's figures.
+
+Usage:
+    python3 scripts/plot_figures.py bench_output.txt -o plots/
+
+matplotlib is optional at build time — this script is the only thing
+that needs it.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def parse_sections(path):
+    """Split a combined bench capture into {bench_name: lines}."""
+    sections = {}
+    current = None
+    with open(path) as f:
+        for line in f:
+            m = re.match(r"#+\s*(bench_\w+)", line)
+            if m:
+                current = m.group(1)
+                sections[current] = []
+            elif current:
+                sections[current].append(line.rstrip("\n"))
+    if not sections:
+        # A single bench's output: key it by its banner.
+        with open(path) as f:
+            lines = [l.rstrip("\n") for l in f]
+        sections["bench"] = lines
+    return sections
+
+
+def parse_table(lines):
+    """Parse an aligned-column table into (headers, rows)."""
+    headers = None
+    rows = []
+    for i, line in enumerate(lines):
+        if set(line.strip()) == {"-"} and i > 0:
+            headers = lines[i - 1].split()
+            for row_line in lines[i + 1:]:
+                if not row_line.strip():
+                    break
+                cells = row_line.split()
+                if len(cells) >= 2:
+                    rows.append(cells)
+            break
+    return headers, rows
+
+
+def numeric(cell):
+    try:
+        return float(cell.rstrip("%x"))
+    except ValueError:
+        return None
+
+
+def plot_grouped_bars(headers, rows, title, ylabel, out_path, plt):
+    workloads = [r[0] for r in rows]
+    series = headers[1:]
+    fig, ax = plt.subplots(figsize=(max(8, len(workloads) * 0.6), 4))
+    width = 0.8 / max(1, len(series))
+    for si, s in enumerate(series):
+        vals = []
+        for r in rows:
+            v = numeric(r[si + 1]) if si + 1 < len(r) else None
+            vals.append(v if v is not None else 0.0)
+        xs = [i + si * width for i in range(len(workloads))]
+        ax.bar(xs, vals, width=width, label=s)
+    ax.set_xticks([i + 0.4 for i in range(len(workloads))])
+    ax.set_xticklabels(workloads, rotation=60, ha="right",
+                       fontsize=8)
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.axhline(1.0, color="gray", lw=0.5)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+FIGS = {
+    "bench_fig8_otp_entries": ("Fig. 8 — Private vs OTP entries",
+                               "normalized time"),
+    "bench_fig9_prior_schemes": ("Fig. 9 — prior schemes",
+                                 "normalized time"),
+    "bench_fig12_traffic": ("Fig. 12 — traffic ratio",
+                            "normalized traffic"),
+    "bench_fig21_main": ("Fig. 21 — main comparison",
+                         "normalized time"),
+    "bench_fig23_traffic_ours": ("Fig. 23 — traffic w/ batching",
+                                 "normalized traffic"),
+    "bench_fig26_aes_latency": ("Fig. 26 — AES latency",
+                                "normalized time"),
+}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input", help="captured bench output")
+    ap.add_argument("-o", "--outdir", default="plots")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.outdir, exist_ok=True)
+    sections = parse_sections(args.input)
+    made = 0
+    for name, (title, ylabel) in FIGS.items():
+        if name not in sections:
+            continue
+        headers, rows = parse_table(sections[name])
+        if not headers or not rows:
+            print(f"skipping {name}: no table found")
+            continue
+        out = os.path.join(args.outdir, f"{name}.png")
+        plot_grouped_bars(headers, rows, title, ylabel, out, plt)
+        made += 1
+    if made == 0:
+        sys.exit("no plottable sections found")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#include "core/experiment.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+SystemConfig
+makeSystemConfig(const ExperimentConfig &cfg)
+{
+    SystemConfig sys;
+    sys.numGpus = cfg.numGpus;
+    sys.seed = cfg.seed;
+    sys.commSampleInterval = cfg.commSampleInterval;
+
+    sys.security.scheme = cfg.scheme;
+    sys.security.batching = cfg.batching;
+    sys.security.batchSize = cfg.batchSize;
+    sys.security.aesLatency = cfg.aesLatency;
+    sys.security.otpMultiplier = cfg.otpMult;
+    sys.security.countMetadataBytes = cfg.countMetadataBytes;
+    // The trusted host of the paper's architecture protects its
+    // untrusted DRAM (PENGLAI-style); the vanilla baseline has no
+    // protection anywhere.
+    sys.cpu.memProtect.enabled = cfg.scheme != OtpScheme::Unsecure;
+    return sys;
+}
+
+RunResult
+runWorkload(const std::string &workload, const ExperimentConfig &cfg)
+{
+    double scale = cfg.scale;
+    if (cfg.strongScaling && cfg.numGpus != 0)
+        scale *= 4.0 / static_cast<double>(cfg.numGpus);
+    const WorkloadProfile profile =
+        makeProfile(workload, scale, cfg.numGpus);
+    MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+    return sys.run();
+}
+
+double
+normalizedTime(const RunResult &r, const RunResult &base)
+{
+    MGSEC_ASSERT(base.cycles > 0, "baseline ran for zero cycles");
+    return static_cast<double>(r.cycles) /
+           static_cast<double>(base.cycles);
+}
+
+double
+normalizedTraffic(const RunResult &r, const RunResult &base)
+{
+    MGSEC_ASSERT(base.totalBytes > 0, "baseline moved zero bytes");
+    return static_cast<double>(r.totalBytes) /
+           static_cast<double>(base.totalBytes);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        MGSEC_ASSERT(x > 0.0, "geomean needs positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+} // namespace mgsec

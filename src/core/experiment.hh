@@ -1,0 +1,60 @@
+/**
+ * @file
+ * High-level experiment runner shared by benches, examples, and
+ * integration tests: one call = one simulated configuration.
+ */
+
+#ifndef MGSEC_CORE_EXPERIMENT_HH
+#define MGSEC_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace mgsec
+{
+
+/** The knobs the paper's figures sweep. */
+struct ExperimentConfig
+{
+    std::uint32_t numGpus = 4;
+    OtpScheme scheme = OtpScheme::Private;
+    bool batching = false;
+    std::uint32_t otpMult = 4;       ///< "OTP Nx"
+    Cycles aesLatency = 40;
+    std::uint32_t batchSize = 16;
+    bool countMetadataBytes = true;  ///< false = Fig. 11 +SecureCommu
+    double scale = 1.0;              ///< extra workload scaling
+    std::uint64_t seed = 1;
+    Cycles commSampleInterval = 0;
+
+    /**
+     * The paper keeps the problem size fixed when growing the GPU
+     * count (Sec. V-D), so per-GPU work shrinks as 4/numGpus.
+     */
+    bool strongScaling = true;
+};
+
+/** Expand an ExperimentConfig into a full SystemConfig. */
+SystemConfig makeSystemConfig(const ExperimentConfig &cfg);
+
+/** Simulate one workload under one configuration. */
+RunResult runWorkload(const std::string &workload,
+                      const ExperimentConfig &cfg);
+
+/**
+ * Relative execution time of @p r against the unsecure baseline
+ * result @p base (1.0 = no overhead).
+ */
+double normalizedTime(const RunResult &r, const RunResult &base);
+
+/** Relative interconnect traffic against the unsecure baseline. */
+double normalizedTraffic(const RunResult &r, const RunResult &base);
+
+double geomean(const std::vector<double> &v);
+double mean(const std::vector<double> &v);
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_EXPERIMENT_HH

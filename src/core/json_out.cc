@@ -1,0 +1,189 @@
+#include "core/json_out.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+void
+JsonWriter::separate()
+{
+    if (!has_elem_.empty() && has_elem_.back() == '1' && !pending_key_)
+        os_ << ",";
+    if (!has_elem_.empty())
+        has_elem_.back() = '1';
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    pending_key_ = false;
+    os_ << "{";
+    has_elem_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    MGSEC_ASSERT(!has_elem_.empty(), "unbalanced endObject");
+    has_elem_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &k)
+{
+    if (!k.empty())
+        key(k);
+    separate();
+    pending_key_ = false;
+    os_ << "[";
+    has_elem_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    MGSEC_ASSERT(!has_elem_.empty(), "unbalanced endArray");
+    has_elem_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    os_ << "\"" << escape(k) << "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    pending_key_ = false;
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    pending_key_ = false;
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    pending_key_ = false;
+    os_ << "\"" << escape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    pending_key_ = false;
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+namespace
+{
+
+void
+writeOtpDir(JsonWriter &w, const OtpStats &otp, Direction d)
+{
+    w.beginObject();
+    w.field("hit", otp.frac(d, OtpOutcome::Hit));
+    w.field("partial", otp.frac(d, OtpOutcome::Partial));
+    w.field("miss", otp.frac(d, OtpOutcome::Miss));
+    w.field("total", otp.total(d));
+    w.endObject();
+}
+
+} // anonymous namespace
+
+void
+writeResultJson(std::ostream &os, const RunResult &r)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("workload", r.workload);
+    w.field("completed", r.completed);
+    w.field("cycles", static_cast<std::uint64_t>(r.cycles));
+
+    w.key("traffic").beginObject();
+    w.field("total", static_cast<std::uint64_t>(r.totalBytes));
+    w.field("header", static_cast<std::uint64_t>(r.classBytes[0]));
+    w.field("payload", static_cast<std::uint64_t>(r.classBytes[1]));
+    w.field("secMeta", static_cast<std::uint64_t>(r.classBytes[2]));
+    w.field("secAck", static_cast<std::uint64_t>(r.classBytes[3]));
+    w.field("packets", r.packets);
+    w.endObject();
+
+    w.key("otp").beginObject();
+    w.key("send");
+    writeOtpDir(w, r.otp, Direction::Send);
+    w.key("recv");
+    writeOtpDir(w, r.otp, Direction::Recv);
+    w.endObject();
+
+    w.field("remoteOps", r.remoteOps);
+    w.field("localOps", r.localOps);
+    w.field("migrations", r.migrations);
+    w.field("standaloneAcks", r.standaloneAcks);
+    w.field("avgRemoteLatency", r.avgRemoteLatency);
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+resultToJson(const RunResult &r)
+{
+    std::ostringstream ss;
+    writeResultJson(ss, r);
+    return ss.str();
+}
+
+} // namespace mgsec

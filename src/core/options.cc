@@ -1,0 +1,204 @@
+#include "core/options.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+bool
+parseScheme(const std::string &text, OtpScheme &out)
+{
+    std::string t = text;
+    std::transform(t.begin(), t.end(), t.begin(), ::tolower);
+    if (t == "unsecure" || t == "none")
+        out = OtpScheme::Unsecure;
+    else if (t == "private")
+        out = OtpScheme::Private;
+    else if (t == "shared")
+        out = OtpScheme::Shared;
+    else if (t == "cached")
+        out = OtpScheme::Cached;
+    else if (t == "dynamic")
+        out = OtpScheme::Dynamic;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+bool
+parseBool(const std::string &v, bool &out)
+{
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        out = true;
+    else if (v == "0" || v == "false" || v == "no" || v == "off")
+        out = false;
+    else
+        return false;
+    return true;
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // anonymous namespace
+
+bool
+RunOptions::set(const std::string &key, const std::string &value)
+{
+    bool ok = true;
+    if (key == "workload") {
+        workload = value;
+    } else if (key == "gpus") {
+        exp.numGpus = static_cast<std::uint32_t>(
+            std::stoul(value));
+    } else if (key == "scheme") {
+        ok = parseScheme(value, exp.scheme);
+    } else if (key == "batching") {
+        ok = parseBool(value, exp.batching);
+    } else if (key == "batch-size") {
+        exp.batchSize = static_cast<std::uint32_t>(
+            std::stoul(value));
+    } else if (key == "otp-mult") {
+        exp.otpMult = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "aes-latency") {
+        exp.aesLatency = std::stoull(value);
+    } else if (key == "scale") {
+        exp.scale = std::stod(value);
+    } else if (key == "seed") {
+        exp.seed = std::stoull(value);
+    } else if (key == "count-metadata") {
+        ok = parseBool(value, exp.countMetadataBytes);
+    } else if (key == "comm-sample-interval") {
+        exp.commSampleInterval = std::stoull(value);
+    } else if (key == "strong-scaling") {
+        ok = parseBool(value, exp.strongScaling);
+    } else if (key == "baseline") {
+        ok = parseBool(value, baseline);
+    } else if (key == "stats-out") {
+        statsOut = value;
+    } else if (key == "json-out") {
+        jsonOut = value;
+    } else if (key == "trace-record") {
+        traceRecord = value;
+    } else if (key == "trace-play") {
+        tracePlay = value;
+    } else if (key == "debug") {
+        ok = debug::DebugFlag::enableByName(value);
+    } else {
+        std::cerr << "unknown option '" << key << "'\n";
+        return false;
+    }
+    if (!ok)
+        std::cerr << "bad value '" << value << "' for '" << key
+                  << "'\n";
+    return ok;
+}
+
+bool
+RunOptions::loadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "cannot open config file '" << path << "'\n";
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            std::cerr << path << ":" << lineno
+                      << ": expected 'key = value'\n";
+            return false;
+        }
+        if (!set(trim(line.substr(0, eq)),
+                 trim(line.substr(eq + 1))))
+            return false;
+    }
+    return true;
+}
+
+bool
+RunOptions::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << "unexpected argument '" << arg << "'\n";
+            return false;
+        }
+        arg = arg.substr(2);
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for '--" << arg << "'\n";
+            return false;
+        }
+        const std::string value = argv[++i];
+        if (arg == "config") {
+            if (!loadFile(value))
+                return false;
+        } else if (!set(arg, value)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+RunOptions::usage(std::ostream &os)
+{
+    os << "mgsec_run — simulate one secure multi-GPU configuration\n"
+          "\n"
+          "  --workload NAME        one of the 17 paper workloads "
+          "(default mm)\n"
+          "  --gpus N               GPU count (default 4)\n"
+          "  --scheme S             unsecure|private|shared|cached|"
+          "dynamic\n"
+          "  --batching B           metadata batching on/off\n"
+          "  --batch-size N         batch length (default 16)\n"
+          "  --otp-mult N           OTP Nx quota (default 4)\n"
+          "  --aes-latency C        AES-GCM latency in cycles\n"
+          "  --scale F              workload size multiplier\n"
+          "  --seed N               RNG seed\n"
+          "  --count-metadata B     account metadata wire bytes\n"
+          "  --comm-sample-interval C  sample GPU1's comm mix\n"
+          "  --strong-scaling B     shrink per-GPU work with N\n"
+          "  --baseline B           also run the unsecure baseline\n"
+          "  --stats-out FILE       dump component stats ('-' = "
+          "stdout)\n"
+          "  --json-out FILE        write the result as JSON\n"
+          "  --trace-record PREFIX  write <prefix>.gpuN.trace files\n"
+          "  --trace-play FILE      replay GPU 1 from a trace file\n"
+          "  --debug FLAGS          enable trace flags "
+          "(Channel,PadTable,Node,Batch or All)\n"
+          "  --config FILE          read 'key = value' lines first\n";
+}
+
+} // namespace mgsec

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Command-line / config-file option handling for the mgsec_run
+ * tool (and any embedding application).
+ *
+ * Options are `--key value` pairs on the command line or `key =
+ * value` lines in a config file (`--config FILE`; '#' comments).
+ * Command-line settings override file settings.
+ */
+
+#ifndef MGSEC_CORE_OPTIONS_HH
+#define MGSEC_CORE_OPTIONS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace mgsec
+{
+
+/** Parse a scheme name ("private", "Dynamic", ...). */
+bool parseScheme(const std::string &text, OtpScheme &out);
+
+struct RunOptions
+{
+    ExperimentConfig exp;
+    std::string workload = "mm";
+    /** Also run the unsecure baseline and print normalized numbers. */
+    bool baseline = true;
+    /** Dump per-component statistics to this file ("-" = stdout). */
+    std::string statsOut;
+    /** Write the RunResult as JSON to this file ("-" = stdout). */
+    std::string jsonOut;
+    /** Record each GPU's op stream to <prefix>.gpu<N>.trace. */
+    std::string traceRecord;
+    /** Replay GPU 1's stream from this trace file. */
+    std::string tracePlay;
+
+    /**
+     * Apply one key=value setting.
+     * @retval false the key is unknown (error reported to stderr).
+     */
+    bool set(const std::string &key, const std::string &value);
+
+    /** Load `key = value` lines. @retval false on any bad line. */
+    bool loadFile(const std::string &path);
+
+    /**
+     * Parse argv.
+     * @retval false on error or after printing --help.
+     */
+    bool parse(int argc, char **argv);
+
+    static void usage(std::ostream &os);
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_OPTIONS_HH

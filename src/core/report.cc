@@ -1,0 +1,80 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MGSEC_ASSERT(!headers_.empty(), "table needs headers");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MGSEC_ASSERT(cells.size() == headers_.size(),
+                 "row width %zu != header width %zu", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    line(headers_);
+    std::size_t total = headers_.size() - 1;
+    for (std::size_t w : width)
+        total += w + 1;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+fmtPct(double frac, int precision)
+{
+    return fmtDouble(frac * 100.0, precision) + "%";
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    return fmtDouble(bytes, 2) + " " + units[u];
+}
+
+} // namespace mgsec

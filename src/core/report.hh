@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench harnesses that
+ * regenerate the paper's tables and figures.
+ */
+
+#ifndef MGSEC_CORE_REPORT_HH
+#define MGSEC_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgsec
+{
+
+/** A simple aligned-column text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format as a percentage ("12.3%"). */
+std::string fmtPct(double frac, int precision = 1);
+
+/** Human-readable byte count ("2.75 KB"). */
+std::string fmtBytes(double bytes);
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_REPORT_HH

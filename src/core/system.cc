@@ -1,0 +1,170 @@
+#include "core/system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
+                               const WorkloadProfile &profile)
+    : cfg_(cfg), profile_(profile)
+{
+    const std::uint32_t n = cfg_.numNodes();
+    net_ = std::make_unique<Network>("net", eq_, n, cfg_.pcie,
+                                     cfg_.nvlink);
+    pt_ = std::make_unique<PageTable>("pt", eq_, cfg_.pageTable, n);
+
+    nodes_.resize(n);
+    for (NodeId id = 0; id < n; ++id) {
+        const bool is_cpu = id == 0;
+        const NodeParams &np = is_cpu ? cfg_.cpu : cfg_.gpu;
+        const std::string nm =
+            is_cpu ? std::string("cpu") : strformat("gpu%u", id);
+        nodes_[id] = std::make_unique<Node>(
+            nm, eq_, id, *net_, *pt_, cfg_.security, np);
+        if (!is_cpu) {
+            nodes_[id]->attachWorkload(std::make_unique<TraceSource>(
+                profile_, id, n, cfg_.seed));
+            nodes_[id]->setOnDone([this]() { ++done_gpus_; });
+        }
+        nodes_[id]->channel().setBlockObserver(
+            [this, id](NodeId dst, Tick t) {
+                recordBlock(id, dst, t);
+            });
+    }
+    burst_state_.resize(static_cast<std::size_t>(n) * n);
+    prev_sends_to_.assign(n, 0);
+}
+
+void
+MultiGpuSystem::recordBlock(NodeId src, NodeId dst, Tick t)
+{
+    BurstState &bs =
+        burst_state_[static_cast<std::size_t>(src) * cfg_.numNodes() +
+                     dst];
+    // Non-overlapping windows: time for 16 (and 32) consecutive data
+    // blocks on this pair to accumulate.
+    bs.ticks.push_back(t);
+    if (bs.ticks.size() >= 32) {
+        burst32_.push_back(bs.ticks.back() - bs.ticks.front());
+        // The first 16 of this window already closed a 16-window.
+        bs.ticks.clear();
+    } else if (bs.ticks.size() == 16) {
+        burst16_.push_back(bs.ticks.back() - bs.ticks.front());
+    }
+}
+
+void
+MultiGpuSystem::sampleComm()
+{
+    const Node &g1 = *nodes_[1];
+    CommSample s;
+    s.tick = eq_.now();
+    s.sendsTo.resize(cfg_.numNodes(), 0);
+    std::uint64_t sends = 0;
+    for (NodeId d = 0; d < cfg_.numNodes(); ++d) {
+        s.sendsTo[d] = g1.sendsTo()[d] - prev_sends_to_[d];
+        sends += s.sendsTo[d];
+        prev_sends_to_[d] = g1.sendsTo()[d];
+    }
+    std::uint64_t recvs_now = 0;
+    for (NodeId d = 0; d < cfg_.numNodes(); ++d)
+        recvs_now += g1.recvsFrom()[d];
+    s.sends = sends;
+    s.recvs = recvs_now - prev_recvs_;
+    prev_recvs_ = recvs_now;
+    comm_series_.push_back(std::move(s));
+
+    if (done_gpus_ < cfg_.numGpus) {
+        eq_.scheduleIn(cfg_.commSampleInterval, [this]() {
+            sampleComm();
+        });
+    }
+}
+
+void
+MultiGpuSystem::replaceWorkload(NodeId gpu,
+                                std::unique_ptr<OpSource> src)
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < cfg_.numNodes(),
+                 "only GPUs run workloads");
+    nodes_[gpu]->attachWorkload(std::move(src));
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os) const
+{
+    net_->statGroup().dump(os);
+    pt_->statGroup().dump(os);
+    for (const auto &n : nodes_) {
+        n->statGroup().dump(os);
+        n->channel().statGroup().dump(os);
+        if (const PadTable *padt = n->channel().padTable())
+            padt->statGroup().dump(os);
+        n->l2().statGroup().dump(os);
+        n->memory().statGroup().dump(os);
+        const_cast<Node &>(*n).l2Tlb().statGroup().dump(os);
+    }
+}
+
+RunResult
+MultiGpuSystem::run()
+{
+    for (auto &n : nodes_)
+        n->start();
+    if (cfg_.commSampleInterval > 0) {
+        eq_.scheduleIn(cfg_.commSampleInterval, [this]() {
+            sampleComm();
+        });
+    }
+
+    while (done_gpus_ < cfg_.numGpus && eq_.now() <= cfg_.maxCycles) {
+        if (!eq_.runOne())
+            break;
+    }
+
+    RunResult r;
+    r.workload = profile_.name;
+    r.completed = done_gpus_ == cfg_.numGpus;
+    if (!r.completed) {
+        warn("run of %s did not complete within %llu cycles",
+             profile_.name.c_str(),
+             static_cast<unsigned long long>(cfg_.maxCycles));
+    }
+
+    Tick finish = 0;
+    for (NodeId id = 1; id < cfg_.numNodes(); ++id)
+        finish = std::max(finish, nodes_[id]->finishTick());
+    r.cycles = r.completed ? finish : eq_.now();
+
+    r.totalBytes = net_->totalBytes();
+    for (std::size_t c = 0; c < kNumTrafficClasses; ++c)
+        r.classBytes[c] =
+            net_->classBytes(static_cast<TrafficClass>(c));
+    r.packets = net_->totalPackets();
+
+    double lat_sum = 0.0;
+    std::uint64_t lat_n = 0;
+    for (auto &n : nodes_) {
+        if (const PadTable *pt = n->channel().padTable())
+            r.otp += pt->otpStats();
+        r.remoteOps += n->remoteOps();
+        r.localOps += n->localOps();
+        r.standaloneAcks += n->channel().standaloneAcks();
+        lat_sum += n->latency().sum();
+        lat_n += n->latency().count();
+    }
+    r.migrations = pt_->migrations();
+    r.avgRemoteLatency =
+        lat_n > 0 ? lat_sum / static_cast<double>(lat_n) : 0.0;
+
+    r.burst16 = std::move(burst16_);
+    r.burst32 = std::move(burst32_);
+    r.commSeries = std::move(comm_series_);
+    return r;
+}
+
+} // namespace mgsec

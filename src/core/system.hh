@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The full simulated system: CPU + N GPUs + interconnect + unified
+ * memory + secure channels, assembled per Table III and driven by a
+ * workload profile.
+ */
+
+#ifndef MGSEC_CORE_SYSTEM_HH
+#define MGSEC_CORE_SYSTEM_HH
+
+#include <array>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/node.hh"
+#include "mem/page_table.hh"
+#include "net/network.hh"
+#include "secure/security_config.hh"
+#include "sim/event_queue.hh"
+#include "workload/profile.hh"
+
+namespace mgsec
+{
+
+struct SystemConfig
+{
+    std::uint32_t numGpus = 4;
+
+    /**
+     * Table III quotes aggregate channel rates (PCIe v4 32 GB/s,
+     * NVLink2-class 50 GB/s); at 1 GHz each direction of the
+     * full-duplex channel carries half, and cache-block-sized
+     * transfers only realize ~70-75 % of that as payload bandwidth
+     * (flit/TLP framing). Each GPU has a dedicated PCIe channel to
+     * the CPU and one NVLink port shared across peers.
+     */
+    LinkParams pcie{12.0, 500};
+    LinkParams nvlink{18.0, 100};
+
+    NodeParams gpu{
+        HbmParams{512.0, 120},
+        CacheParams{2 * 1024 * 1024, 16, kBlockBytes, 20},
+        20,
+        256, // 64 CUs x 4 outstanding remote misses each
+        64,  // compute units (Table III)
+        ComputeUnitParams{},
+        TlbParams{1024, 8},
+        100,
+    };
+    NodeParams cpu{
+        HbmParams{64.0, 160},
+        CacheParams{8 * 1024 * 1024, 16, kBlockBytes, 30},
+        30,
+        64,
+        0, // no CUs: the host only serves
+        ComputeUnitParams{},
+        TlbParams{1024, 8},
+        100,
+    };
+
+    PageTableParams pageTable{};
+    SecurityConfig security{};
+
+    std::uint64_t seed = 1;
+    /** Safety valve: abort runs that exceed this many cycles. */
+    Tick maxCycles = 500'000'000;
+    /** >0: sample GPU 1's communication mix every N cycles. */
+    Cycles commSampleInterval = 0;
+
+    std::uint32_t numNodes() const { return numGpus + 1; }
+};
+
+/** One sampling point of GPU 1's communication mix (Fig. 13/14). */
+struct CommSample
+{
+    Tick tick = 0;
+    std::vector<std::uint64_t> sendsTo; ///< delta per destination
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+};
+
+/** Everything a bench needs from one simulation. */
+struct RunResult
+{
+    std::string workload;
+    bool completed = false;
+    Tick cycles = 0;
+
+    Bytes totalBytes = 0;
+    std::array<Bytes, kNumTrafficClasses> classBytes{};
+    std::uint64_t packets = 0;
+
+    OtpStats otp;
+    std::uint64_t remoteOps = 0;
+    std::uint64_t localOps = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t standaloneAcks = 0;
+    double avgRemoteLatency = 0.0;
+
+    /** Non-overlapping per-pair accumulation times (Fig. 15/16). */
+    std::vector<Cycles> burst16;
+    std::vector<Cycles> burst32;
+
+    /** GPU 1 communication mix over time (Fig. 13/14). */
+    std::vector<CommSample> commSeries;
+};
+
+class MultiGpuSystem
+{
+  public:
+    MultiGpuSystem(const SystemConfig &cfg,
+                   const WorkloadProfile &profile);
+
+    /** Run to completion (or the cycle cap) and harvest results. */
+    RunResult run();
+
+    /**
+     * Substitute a GPU's traffic source before run() — e.g. replay
+     * a recorded trace instead of the synthetic profile.
+     */
+    void replaceWorkload(NodeId gpu, std::unique_ptr<OpSource> src);
+
+    /** Dump every component's statistics ("component.stat value"). */
+    void dumpStats(std::ostream &os) const;
+
+    EventQueue &eventq() { return eq_; }
+    Network &network() { return *net_; }
+    PageTable &pageTable() { return *pt_; }
+    Node &node(NodeId id) { return *nodes_[id]; }
+    std::uint32_t numNodes() const { return cfg_.numNodes(); }
+
+  private:
+    void recordBlock(NodeId src, NodeId dst, Tick t);
+    void sampleComm();
+
+    SystemConfig cfg_;
+    WorkloadProfile profile_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<PageTable> pt_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+
+    std::uint32_t done_gpus_ = 0;
+
+    /** Burst accumulation state per (src, dst). */
+    struct BurstState
+    {
+        std::deque<Tick> ticks;
+    };
+    std::vector<BurstState> burst_state_;
+    std::vector<Cycles> burst16_;
+    std::vector<Cycles> burst32_;
+
+    std::vector<std::uint64_t> prev_sends_to_;
+    std::uint64_t prev_recvs_ = 0;
+    std::vector<CommSample> comm_series_;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_SYSTEM_HH

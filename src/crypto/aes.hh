@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197).
+ *
+ * A portable, table-light implementation: S-box lookups plus xtime()
+ * arithmetic. The simulator's timing path never calls this (it uses
+ * the paper's 40-cycle latency model); the functional secure-channel
+ * layer and the test suite use it to prove the protocol actually
+ * encrypts, authenticates, and round-trips.
+ */
+
+#ifndef MGSEC_CRYPTO_AES_HH
+#define MGSEC_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace mgsec::crypto
+{
+
+/** A 16-byte cipher block. */
+using Block = std::array<std::uint8_t, 16>;
+
+/** AES-128: 128-bit key, 10 rounds. */
+class Aes128
+{
+  public:
+    static constexpr std::size_t kKeyBytes = 16;
+    static constexpr std::size_t kBlockBytes = 16;
+    static constexpr int kRounds = 10;
+
+    explicit Aes128(const std::array<std::uint8_t, kKeyBytes> &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(Block &b) const;
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(Block &b) const;
+
+    /** Convenience: returns E_K(in). */
+    Block encrypt(const Block &in) const;
+    /** Convenience: returns D_K(in). */
+    Block decrypt(const Block &in) const;
+
+  private:
+    /** Expanded round keys: (rounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, 16 * (kRounds + 1)> round_keys_{};
+};
+
+} // namespace mgsec::crypto
+
+#endif // MGSEC_CRYPTO_AES_HH

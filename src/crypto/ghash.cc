@@ -1,0 +1,79 @@
+#include "crypto/ghash.hh"
+
+#include <cstring>
+
+namespace mgsec::crypto
+{
+
+U128
+blockToU128(const Block &b)
+{
+    U128 v;
+    for (int i = 0; i < 8; ++i)
+        v.hi = (v.hi << 8) | b[i];
+    for (int i = 8; i < 16; ++i)
+        v.lo = (v.lo << 8) | b[i];
+    return v;
+}
+
+Block
+u128ToBlock(const U128 &v)
+{
+    Block b;
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v.hi >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+        b[8 + i] = static_cast<std::uint8_t>(v.lo >> (56 - 8 * i));
+    return b;
+}
+
+U128
+gfmul(const U128 &x, const U128 &y)
+{
+    // SP 800-38D algorithm 1: Z = 0, V = y; scan bits of x MSB-first.
+    U128 z;
+    U128 v = y;
+    for (int i = 0; i < 128; ++i) {
+        const bool xbit = (i < 64)
+            ? ((x.hi >> (63 - i)) & 1) != 0
+            : ((x.lo >> (127 - i)) & 1) != 0;
+        if (xbit) {
+            z.hi ^= v.hi;
+            z.lo ^= v.lo;
+        }
+        const bool lsb = (v.lo & 1) != 0;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ULL;
+    }
+    return z;
+}
+
+void
+Ghash::update(const Block &b)
+{
+    const U128 x = blockToU128(b);
+    y_.hi ^= x.hi;
+    y_.lo ^= x.lo;
+    y_ = gfmul(y_, h_);
+}
+
+void
+Ghash::updateBytes(const std::uint8_t *data, std::size_t len)
+{
+    Block b;
+    while (len >= 16) {
+        std::memcpy(b.data(), data, 16);
+        update(b);
+        data += 16;
+        len -= 16;
+    }
+    if (len > 0) {
+        b.fill(0);
+        std::memcpy(b.data(), data, len);
+        update(b);
+    }
+}
+
+} // namespace mgsec::crypto

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GHASH — the universal hash of GCM (NIST SP 800-38D).
+ *
+ * Operates over GF(2^128) with the GCM bit ordering (bit 0 of a block
+ * is the most-significant bit of byte 0).
+ */
+
+#ifndef MGSEC_CRYPTO_GHASH_HH
+#define MGSEC_CRYPTO_GHASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace mgsec::crypto
+{
+
+/** A 128-bit value in GCM bit order: hi holds bytes 0-7 big-endian. */
+struct U128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const U128 &o) const = default;
+};
+
+/** Load/store between Block and U128 (big-endian). */
+U128 blockToU128(const Block &b);
+Block u128ToBlock(const U128 &v);
+
+/** GF(2^128) multiplication, GCM convention. */
+U128 gfmul(const U128 &x, const U128 &y);
+
+/**
+ * Incremental GHASH with hash subkey H. Feed whole 16-byte blocks;
+ * shorter trailing data must be zero-padded by the caller (as GCM
+ * itself specifies).
+ */
+class Ghash
+{
+  public:
+    explicit Ghash(const Block &h) : h_(blockToU128(h)) {}
+
+    /** Absorb one block. */
+    void update(const Block &b);
+    /** Absorb a byte string, zero-padding the final partial block. */
+    void updateBytes(const std::uint8_t *data, std::size_t len);
+    /** Current state as a block (does not reset). */
+    Block digest() const { return u128ToBlock(y_); }
+    void reset() { y_ = U128{}; }
+
+  private:
+    U128 h_;
+    U128 y_{};
+};
+
+} // namespace mgsec::crypto
+
+#endif // MGSEC_CRYPTO_GHASH_HH

@@ -1,0 +1,90 @@
+#include "crypto/otp.hh"
+
+#include <cstring>
+
+namespace mgsec::crypto
+{
+
+PadFactory::PadFactory(const std::array<std::uint8_t, 16> &session_key)
+    : gcm_(session_key)
+{}
+
+Iv96
+PadFactory::seedIv(NodeId sender, NodeId receiver, std::uint64_t ctr,
+                   std::uint8_t domain) const
+{
+    // 12-byte IV: 8 B counter, then sender/receiver ids (12 bits
+    // each) and a 1-byte domain separator (enc vs. auth pad stream).
+    Iv96 iv{};
+    for (int i = 0; i < 8; ++i)
+        iv[i] = static_cast<std::uint8_t>(ctr >> (56 - 8 * i));
+    iv[8] = static_cast<std::uint8_t>(sender & 0xff);
+    iv[9] = static_cast<std::uint8_t>(((sender >> 8) & 0x0f) |
+                                      ((receiver & 0x0f) << 4));
+    iv[10] = static_cast<std::uint8_t>((receiver >> 4) & 0xff);
+    iv[11] = domain;
+    return iv;
+}
+
+MessagePad
+PadFactory::derive(NodeId sender, NodeId receiver,
+                   std::uint64_t ctr) const
+{
+    MessagePad pad;
+    const auto enc = gcm_.keystream(seedIv(sender, receiver, ctr, 0x01),
+                                    pad.encPad.size());
+    std::memcpy(pad.encPad.data(), enc.data(), pad.encPad.size());
+    const auto auth = gcm_.keystream(seedIv(sender, receiver, ctr, 0x02),
+                                     pad.authPad.size());
+    std::memcpy(pad.authPad.data(), auth.data(), pad.authPad.size());
+    return pad;
+}
+
+BlockPayload
+PadFactory::crypt(const BlockPayload &data, const MessagePad &pad)
+{
+    BlockPayload out;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(data[i] ^ pad.encPad[i]);
+    return out;
+}
+
+MsgMac
+PadFactory::mac(const BlockPayload &cipher, NodeId sender,
+                NodeId receiver, std::uint64_t ctr,
+                const MessagePad &pad) const
+{
+    Ghash gh(gcm_.hashKey());
+    gh.updateBytes(cipher.data(), cipher.size());
+    Block hdr{};
+    for (int i = 0; i < 8; ++i)
+        hdr[i] = static_cast<std::uint8_t>(ctr >> (56 - 8 * i));
+    hdr[8] = static_cast<std::uint8_t>(sender);
+    hdr[9] = static_cast<std::uint8_t>(sender >> 8);
+    hdr[10] = static_cast<std::uint8_t>(receiver);
+    hdr[11] = static_cast<std::uint8_t>(receiver >> 8);
+    gh.update(hdr);
+    const Block digest = gh.digest();
+    MsgMac out;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(digest[i] ^ pad.authPad[i]);
+    return out;
+}
+
+MsgMac
+PadFactory::batchMac(const std::vector<MsgMac> &macs,
+                     const MessagePad &first_pad) const
+{
+    Ghash gh(gcm_.hashKey());
+    for (const MsgMac &m : macs)
+        gh.updateBytes(m.data(), m.size());
+    const Block digest = gh.digest();
+    MsgMac out;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(digest[i] ^
+                                           first_pad.authPad[8 + i]);
+    }
+    return out;
+}
+
+} // namespace mgsec::crypto

@@ -1,0 +1,142 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Cache::Cache(const std::string &name, EventQueue &eq, CacheParams params)
+    : SimObject(name, eq), params_(params)
+{
+    MGSEC_ASSERT(params_.blockSize > 0 && isPow2(params_.blockSize),
+                 "block size must be a power of two");
+    MGSEC_ASSERT(params_.assoc > 0, "associativity must be positive");
+    const Bytes blocks = params_.size / params_.blockSize;
+    MGSEC_ASSERT(blocks % params_.assoc == 0,
+                 "size %llu not divisible into %u-way sets",
+                 static_cast<unsigned long long>(params_.size),
+                 params_.assoc);
+    num_sets_ = static_cast<std::uint32_t>(blocks / params_.assoc);
+    MGSEC_ASSERT(isPow2(num_sets_), "set count must be a power of two");
+    lines_.resize(blocks);
+
+    regStat(hits_);
+    regStat(misses_);
+    regStat(evictions_);
+    regStat(writebacks_);
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr / params_.blockSize) &
+                                      (num_sets_ - 1));
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return (addr / params_.blockSize) / num_sets_;
+}
+
+std::uint64_t
+Cache::blockAddr(std::uint64_t tag, std::uint32_t set) const
+{
+    return (tag * num_sets_ + set) * params_.blockSize;
+}
+
+Cache::AccessResult
+Cache::access(std::uint64_t addr, bool write)
+{
+    AccessResult res;
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lru_clock_;
+            line.dirty = line.dirty || write;
+            ++hits_;
+            res.hit = true;
+            return res;
+        }
+        if (victim == nullptr || !line.valid ||
+            (victim->valid && line.valid &&
+             line.lruStamp < victim->lruStamp)) {
+            if (victim == nullptr || victim->valid)
+                victim = &line;
+        }
+    }
+
+    ++misses_;
+    MGSEC_ASSERT(victim != nullptr, "no victim line");
+    if (victim->valid) {
+        ++evictions_;
+        res.evicted = true;
+        res.victimAddr = blockAddr(victim->tag, set);
+        res.victimDirty = victim->dirty;
+        if (victim->dirty)
+            ++writebacks_;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lruStamp = ++lru_clock_;
+    return res;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base =
+        &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(std::uint64_t addr)
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            base[w].dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+Cache::invalidateRange(std::uint64_t base, Bytes len)
+{
+    std::uint32_t count = 0;
+    for (std::uint64_t a = base; a < base + len; a += params_.blockSize)
+        if (invalidate(a))
+            ++count;
+    return count;
+}
+
+} // namespace mgsec

@@ -1,0 +1,33 @@
+#include "mem/hbm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+Hbm::Hbm(const std::string &name, EventQueue &eq, HbmParams params)
+    : SimObject(name, eq), params_(params)
+{
+    MGSEC_ASSERT(params_.bytesPerCycle > 0.0, "HBM needs bandwidth");
+    regStat(accesses_);
+    regStat(bytes_);
+}
+
+Tick
+Hbm::access(Bytes bytes)
+{
+    MGSEC_ASSERT(bytes > 0, "zero-byte HBM access");
+    ++accesses_;
+    bytes_ += static_cast<double>(bytes);
+
+    const auto busy = static_cast<Cycles>(std::ceil(
+        static_cast<double>(bytes) / params_.bytesPerCycle));
+    const Tick start = std::max(now(), next_free_);
+    next_free_ = start + busy;
+    return next_free_ + params_.accessLatency;
+}
+
+} // namespace mgsec

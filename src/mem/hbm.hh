@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stacked-DRAM (HBM) bandwidth/latency model.
+ *
+ * Table III: 512 GB/s per GPU at 1 GHz => 512 B/cycle. Requests
+ * serialize on the device bandwidth and then complete after a fixed
+ * access latency. The HBM itself is inside the trust boundary
+ * (Section II-B), so no protection cost applies here.
+ */
+
+#ifndef MGSEC_MEM_HBM_HH
+#define MGSEC_MEM_HBM_HH
+
+#include <string>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+struct HbmParams
+{
+    double bytesPerCycle = 512.0;
+    Cycles accessLatency = 120;
+};
+
+class Hbm : public SimObject
+{
+  public:
+    Hbm(const std::string &name, EventQueue &eq, HbmParams params);
+
+    /**
+     * Reserve bandwidth for an access of @p bytes starting now.
+     * @return the tick at which the data is available.
+     */
+    Tick access(Bytes bytes);
+
+    const HbmParams &params() const { return params_; }
+
+    Bytes bytesServed() const
+    {
+        return static_cast<Bytes>(bytes_.value());
+    }
+    std::uint64_t accesses() const
+    {
+        return static_cast<std::uint64_t>(accesses_.value());
+    }
+
+  private:
+    HbmParams params_;
+    Tick next_free_ = 0;
+
+    stats::Scalar accesses_{"accesses", "HBM accesses"};
+    stats::Scalar bytes_{"bytes", "HBM bytes served"};
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_MEM_HBM_HH

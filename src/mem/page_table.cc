@@ -1,0 +1,92 @@
+#include "mem/page_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+PageTable::PageTable(const std::string &name, EventQueue &eq,
+                     PageTableParams params, std::uint32_t num_nodes)
+    : SimObject(name, eq), params_(params), num_nodes_(num_nodes)
+{
+    MGSEC_ASSERT(num_nodes_ >= 2, "need at least CPU + 1 GPU");
+    regStat(migrations_);
+    regStat(remote_accesses_);
+}
+
+PageTable::Entry &
+PageTable::entryOf(std::uint64_t page, NodeId first_toucher)
+{
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        MGSEC_ASSERT(first_toucher < num_nodes_, "bad toucher %u",
+                     first_toucher);
+        Entry e;
+        e.home = first_toucher;
+        e.remoteCounts.assign(num_nodes_, 0);
+        it = pages_.emplace(page, std::move(e)).first;
+    }
+    return it->second;
+}
+
+NodeId
+PageTable::home(std::uint64_t page, NodeId first_toucher)
+{
+    return entryOf(page, first_toucher).home;
+}
+
+NodeId
+PageTable::homeOf(std::uint64_t page) const
+{
+    auto it = pages_.find(page);
+    MGSEC_ASSERT(it != pages_.end(), "page %llu unmapped",
+                 static_cast<unsigned long long>(page));
+    return it->second.home;
+}
+
+bool
+PageTable::mapped(std::uint64_t page) const
+{
+    return pages_.find(page) != pages_.end();
+}
+
+void
+PageTable::place(std::uint64_t page, NodeId node)
+{
+    MGSEC_ASSERT(node < num_nodes_, "bad node %u", node);
+    Entry &e = entryOf(page, node);
+    e.home = node;
+    std::fill(e.remoteCounts.begin(), e.remoteCounts.end(), 0);
+}
+
+bool
+PageTable::recordRemoteAccess(std::uint64_t page, NodeId accessor)
+{
+    MGSEC_ASSERT(accessor < num_nodes_, "bad accessor %u", accessor);
+    Entry &e = entryOf(page, accessor);
+    MGSEC_ASSERT(e.home != accessor,
+                 "remote access recorded by the home node");
+    ++remote_accesses_;
+    if (!params_.migrationEnabled)
+        return false;
+    if (++e.remoteCounts[accessor] >= params_.migrationThreshold) {
+        std::fill(e.remoteCounts.begin(), e.remoteCounts.end(), 0);
+        return true;
+    }
+    return false;
+}
+
+void
+PageTable::finishMigration(std::uint64_t page, NodeId new_home)
+{
+    auto it = pages_.find(page);
+    MGSEC_ASSERT(it != pages_.end(), "migrating unmapped page");
+    it->second.home = new_home;
+    std::fill(it->second.remoteCounts.begin(),
+              it->second.remoteCounts.end(), 0);
+    ++migrations_;
+}
+
+} // namespace mgsec

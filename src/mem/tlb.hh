@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TLB model (fully associative, LRU).
+ *
+ * Per Table III / Fig. 2 of the paper: each CU has a private L1 TLB,
+ * all CUs of a GPU share an L2 TLB, and L2 misses are forwarded to
+ * the IOMMU on the CPU side — which in the secure system is a
+ * CPU-GPU message like any other and therefore crosses the secure
+ * channel.
+ */
+
+#ifndef MGSEC_MEM_TLB_HH
+#define MGSEC_MEM_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+struct TlbParams
+{
+    std::uint32_t entries = 64;
+    Cycles hitLatency = 1;
+};
+
+class Tlb : public SimObject
+{
+  public:
+    Tlb(const std::string &name, EventQueue &eq, TlbParams params);
+
+    /**
+     * Translate @p page (a virtual page number).
+     * @retval true the mapping was resident.
+     * On a miss the mapping is filled (LRU eviction).
+     */
+    bool lookup(std::uint64_t page);
+
+    /** Probe without side effects. */
+    bool resident(std::uint64_t page) const;
+
+    /** Drop one mapping (migration shootdown). */
+    bool invalidate(std::uint64_t page);
+
+    /** Drop everything. */
+    void flush();
+
+    const TlbParams &params() const { return params_; }
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(lru_.size());
+    }
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(hits_.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(misses_.value());
+    }
+
+  private:
+    TlbParams params_;
+
+    /** MRU at front. */
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator> map_;
+
+    stats::Scalar hits_{"hits", "TLB hits"};
+    stats::Scalar misses_{"misses", "TLB misses"};
+    stats::Scalar evictions_{"evictions", "TLB evictions"};
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_MEM_TLB_HH

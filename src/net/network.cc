@@ -1,0 +1,130 @@
+#include "net/network.hh"
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+Network::Network(const std::string &name, EventQueue &eq,
+                 std::uint32_t num_nodes, LinkParams pcie,
+                 LinkParams nvlink)
+    : SimObject(name, eq), num_nodes_(num_nodes), pcie_(pcie),
+      nvlink_(nvlink), handlers_(num_nodes),
+      pair_bytes_(static_cast<std::size_t>(num_nodes) * num_nodes,
+                  0.0)
+{
+    MGSEC_ASSERT(num_nodes_ >= 2, "need a CPU and at least one GPU");
+    nv_egress_.assign(num_nodes_, Serializer(nvlink_.bytesPerCycle));
+    nv_ingress_.assign(num_nodes_, Serializer(nvlink_.bytesPerCycle));
+    pcie_down_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
+    pcie_up_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
+    regStat(packets_);
+    for (auto &s : class_bytes_)
+        regStat(s);
+}
+
+void
+Network::setHandler(NodeId node, Handler h)
+{
+    MGSEC_ASSERT(node < num_nodes_, "bad node id %u", node);
+    handlers_[node] = std::move(h);
+}
+
+void
+Network::deliver(Tick when, PacketPtr pkt)
+{
+    auto *raw = pkt.release();
+    eventq().schedule(when, [this, raw]() {
+        PacketPtr p(raw);
+        MGSEC_ASSERT(handlers_[p->dst] != nullptr,
+                     "no handler for node %u", p->dst);
+        handlers_[p->dst](std::move(p));
+    });
+}
+
+void
+Network::send(PacketPtr pkt)
+{
+    MGSEC_ASSERT(pkt->src < num_nodes_ && pkt->dst < num_nodes_ &&
+                     pkt->src != pkt->dst,
+                 "bad route %u -> %u", pkt->src, pkt->dst);
+    const Bytes bytes = pkt->wireBytes();
+    MGSEC_ASSERT(bytes > 0, "zero-byte packet");
+
+    ++packets_;
+    class_bytes_[static_cast<std::size_t>(TrafficClass::Header)] +=
+        static_cast<double>(pkt->headerBytes);
+    class_bytes_[static_cast<std::size_t>(TrafficClass::Payload)] +=
+        static_cast<double>(pkt->payloadBytes);
+    class_bytes_[static_cast<std::size_t>(TrafficClass::SecMeta)] +=
+        static_cast<double>(pkt->secMetaBytes);
+    class_bytes_[static_cast<std::size_t>(TrafficClass::SecAck)] +=
+        static_cast<double>(pkt->ackBytes);
+    pair_bytes_[static_cast<std::size_t>(pkt->src) * num_nodes_ +
+                pkt->dst] += static_cast<double>(bytes);
+
+    if (tamper_)
+        tamper_(*pkt);
+
+    const bool is_pcie = pkt->src == 0 || pkt->dst == 0;
+    Tick arrive;
+    if (is_pcie) {
+        // Dedicated per-GPU PCIe channel: one serialization.
+        const NodeId gpu = pkt->src == 0 ? pkt->dst : pkt->src;
+        Serializer &ser =
+            pkt->src == 0 ? pcie_down_[gpu] : pcie_up_[gpu];
+        arrive = ser.reserve(now(), bytes) + pcie_.latency;
+    } else {
+        // Shared NVLink ports: sender egress, then receiver ingress.
+        const Tick sent = nv_egress_[pkt->src].reserve(now(), bytes);
+        arrive = nv_ingress_[pkt->dst].reserve(
+            sent + nvlink_.latency, bytes);
+    }
+    deliver(arrive, std::move(pkt));
+}
+
+Bytes
+Network::totalBytes() const
+{
+    double total = 0.0;
+    for (const auto &s : class_bytes_)
+        total += s.value();
+    return static_cast<Bytes>(total);
+}
+
+Bytes
+Network::pairBytes(NodeId src, NodeId dst) const
+{
+    return static_cast<Bytes>(
+        pair_bytes_[static_cast<std::size_t>(src) * num_nodes_ + dst]);
+}
+
+const Serializer &
+Network::nvlinkEgress(NodeId gpu) const
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
+    return nv_egress_[gpu];
+}
+
+const Serializer &
+Network::nvlinkIngress(NodeId gpu) const
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
+    return nv_ingress_[gpu];
+}
+
+const Serializer &
+Network::pcieDown(NodeId gpu) const
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
+    return pcie_down_[gpu];
+}
+
+const Serializer &
+Network::pcieUp(NodeId gpu) const
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
+    return pcie_up_[gpu];
+}
+
+} // namespace mgsec

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * System interconnect: CPU + N GPUs.
+ *
+ * Topology per the paper's target system (Fig. 2 / Table III):
+ *   - every GPU owns one NVLink-class port (50 GB/s per direction at
+ *     1 GHz => 50 B/cycle) shared by its traffic to/from all peer
+ *     GPUs: egress serializes at the sender's port, ingress at the
+ *     receiver's;
+ *   - each GPU additionally has a dedicated PCIe v4 channel to the
+ *     CPU (32 GB/s per direction => 32 B/cycle).
+ *
+ * Delivery is FIFO per (src, dst), which the secure channel's
+ * counter protocol relies on.
+ */
+
+#ifndef MGSEC_NET_NETWORK_HH
+#define MGSEC_NET_NETWORK_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hh"
+#include "net/serializer.hh"
+#include "sim/sim_object.hh"
+
+namespace mgsec
+{
+
+/** Static channel parameters. */
+struct LinkParams
+{
+    double bytesPerCycle = 1.0;
+    Cycles latency = 1;
+};
+
+class Network : public SimObject
+{
+  public:
+    using Handler = std::function<void(PacketPtr)>;
+
+    /**
+     * @param num_nodes total processors (CPU is node 0), >= 2.
+     * @param pcie per-direction parameters of each CPU<->GPU channel.
+     * @param nvlink per-direction parameters of each GPU's shared
+     *               inter-GPU port.
+     */
+    Network(const std::string &name, EventQueue &eq,
+            std::uint32_t num_nodes, LinkParams pcie,
+            LinkParams nvlink);
+
+    std::uint32_t numNodes() const { return num_nodes_; }
+    const LinkParams &pcieParams() const { return pcie_; }
+    const LinkParams &nvlinkParams() const { return nvlink_; }
+
+    /** Install the receive handler for a node. */
+    void setHandler(NodeId node, Handler h);
+
+    /** Route a packet from pkt->src to pkt->dst. */
+    void send(PacketPtr pkt);
+
+    /**
+     * Install an in-flight meddler — the physical attacker of the
+     * threat model. Runs on every packet as it crosses the exposed
+     * interconnect; used by the adversarial tests.
+     */
+    using Tamper = std::function<void(Packet &)>;
+    void setTamper(Tamper t) { tamper_ = std::move(t); }
+
+    /** @name Aggregate traffic accounting */
+    /// @{
+    Bytes totalBytes() const;
+    Bytes classBytes(TrafficClass c) const
+    {
+        return static_cast<Bytes>(
+            class_bytes_[static_cast<std::size_t>(c)].value());
+    }
+    std::uint64_t totalPackets() const
+    {
+        return static_cast<std::uint64_t>(packets_.value());
+    }
+    /** Bytes sent on the (src -> dst) flow. */
+    Bytes pairBytes(NodeId src, NodeId dst) const;
+    /// @}
+
+    /** @name Port utilization (for bandwidth analyses) */
+    /// @{
+    const Serializer &nvlinkEgress(NodeId gpu) const;
+    const Serializer &nvlinkIngress(NodeId gpu) const;
+    const Serializer &pcieDown(NodeId gpu) const; ///< CPU -> GPU
+    const Serializer &pcieUp(NodeId gpu) const;   ///< GPU -> CPU
+    /// @}
+
+  private:
+    void deliver(Tick when, PacketPtr pkt);
+
+    std::uint32_t num_nodes_;
+    LinkParams pcie_;
+    LinkParams nvlink_;
+
+    std::vector<Handler> handlers_;
+    Tamper tamper_;
+
+    /** Indexed by node id; entry 0 unused. */
+    std::vector<Serializer> nv_egress_;
+    std::vector<Serializer> nv_ingress_;
+    std::vector<Serializer> pcie_down_;
+    std::vector<Serializer> pcie_up_;
+
+    std::vector<double> pair_bytes_;
+
+    stats::Scalar packets_{"packets", "packets sent"};
+    std::array<stats::Scalar, kNumTrafficClasses> class_bytes_{
+        stats::Scalar{"bytesHeader", "header bytes"},
+        stats::Scalar{"bytesPayload", "payload bytes"},
+        stats::Scalar{"bytesSecMeta", "security metadata bytes"},
+        stats::Scalar{"bytesSecAck", "security ACK bytes"},
+    };
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_NET_NETWORK_HH

@@ -1,0 +1,30 @@
+#include "net/packet.hh"
+
+namespace mgsec
+{
+
+const char *
+packetTypeName(PacketType t)
+{
+    switch (t) {
+      case PacketType::ReadReq:
+        return "ReadReq";
+      case PacketType::WriteReq:
+        return "WriteReq";
+      case PacketType::ReadResp:
+        return "ReadResp";
+      case PacketType::WriteResp:
+        return "WriteResp";
+      case PacketType::SecAck:
+        return "SecAck";
+      case PacketType::BatchMac:
+        return "BatchMac";
+      case PacketType::TransReq:
+        return "TransReq";
+      case PacketType::TransResp:
+        return "TransResp";
+    }
+    return "Unknown";
+}
+
+} // namespace mgsec

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Wire packets exchanged between processors.
+ *
+ * A packet's footprint on a link is the sum of four byte classes that
+ * the traffic figures of the paper distinguish:
+ *   header   - routing/transaction header (and address for requests)
+ *   payload  - cache-block data
+ *   secMeta  - security metadata (MsgCTR + sender id, MsgMAC, batch
+ *              length byte)
+ *   ack      - replay-protection acknowledgment bytes (standalone or
+ *              piggybacked)
+ */
+
+#ifndef MGSEC_NET_PACKET_HH
+#define MGSEC_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Kinds of messages a node emits. */
+enum class PacketType : std::uint8_t
+{
+    ReadReq,    ///< remote read request (64 B block)
+    WriteReq,   ///< remote write request (carries a block)
+    ReadResp,   ///< data response
+    WriteResp,  ///< write completion
+    SecAck,     ///< standalone replay-protection ACK
+    BatchMac,   ///< standalone batched MsgMAC trailer
+    TransReq,   ///< IOMMU translation request (GPU -> CPU)
+    TransResp,  ///< IOMMU translation response
+};
+
+const char *packetTypeName(PacketType t);
+
+/** Byte classes for traffic accounting. */
+enum class TrafficClass : std::uint8_t
+{
+    Header = 0,
+    Payload = 1,
+    SecMeta = 2,
+    SecAck = 3,
+};
+constexpr std::size_t kNumTrafficClasses = 4;
+
+/**
+ * Security acknowledgment record: confirms receipt of messages up to
+ * @c upToCtr on the (from -> to) pair, or of a whole batch.
+ */
+struct AckRecord
+{
+    NodeId from = InvalidNode; ///< original data sender being ACKed
+    std::uint64_t upToCtr = 0;
+    std::uint64_t batchId = 0; ///< nonzero when ACKing a batch
+};
+
+/**
+ * Real cryptographic material carried when the channel runs in
+ * functional-crypto mode: the actual ciphertext of the block and
+ * the (per-message or batched) MsgMAC. The timing model never needs
+ * this; the protocol validation and the adversarial tests do.
+ */
+struct FunctionalPayload
+{
+    std::array<std::uint8_t, 64> cipher{};
+    std::array<std::uint8_t, 8> mac{};
+    bool hasCipher = false;
+    bool hasMac = false;
+};
+
+struct Packet
+{
+    std::uint64_t id = 0;       ///< unique packet id
+    std::uint64_t txnId = 0;    ///< transaction this belongs to
+    PacketType type = PacketType::ReadReq;
+    NodeId src = InvalidNode;
+    NodeId dst = InvalidNode;
+    std::uint64_t addr = 0;     ///< block address (requests)
+    bool migration = false;     ///< part of a page migration
+
+    /** Byte-class footprint. */
+    Bytes headerBytes = 0;
+    Bytes payloadBytes = 0;
+    Bytes secMetaBytes = 0;
+    Bytes ackBytes = 0;
+
+    /** Security header fields (valid when secured). */
+    bool secured = false;
+    std::uint64_t msgCtr = 0;
+    bool padFallback = false;   ///< sender pad was generated on demand
+    bool hasMac = false;        ///< per-message MsgMAC present
+    std::uint64_t batchId = 0;  ///< batch the message belongs to
+    std::uint8_t batchLen = 0;  ///< nonzero on a batch's first message
+    bool batchLast = false;     ///< closes its batch
+    std::vector<AckRecord> acks; ///< piggybacked ACKs
+
+    /** Real crypto material (functional-crypto mode only). */
+    std::shared_ptr<FunctionalPayload> func;
+
+    /** Timestamp when the secure-send stage accepted the message. */
+    Tick sendReady = 0;
+
+    Bytes
+    wireBytes() const
+    {
+        return headerBytes + payloadBytes + secMetaBytes + ackBytes;
+    }
+
+    bool
+    isRequest() const
+    {
+        return type == PacketType::ReadReq ||
+               type == PacketType::WriteReq ||
+               type == PacketType::TransReq;
+    }
+
+    bool
+    isResponse() const
+    {
+        return type == PacketType::ReadResp ||
+               type == PacketType::WriteResp ||
+               type == PacketType::TransResp;
+    }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+} // namespace mgsec
+
+#endif // MGSEC_NET_PACKET_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A bandwidth serializer: the transmit (or receive) side of a port.
+ *
+ * Packets occupy the port for ceil(bytes / bytesPerCycle) cycles in
+ * reservation order. Used both for dedicated channels (PCIe lanes to
+ * one GPU) and for shared ports (a GPU's NVLink port carries traffic
+ * to every peer).
+ */
+
+#ifndef MGSEC_NET_SERIALIZER_HH
+#define MGSEC_NET_SERIALIZER_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+class Serializer
+{
+  public:
+    explicit Serializer(double bytes_per_cycle = 1.0)
+        : bpc_(bytes_per_cycle)
+    {
+        MGSEC_ASSERT(bpc_ > 0.0, "serializer needs bandwidth");
+    }
+
+    /**
+     * Reserve the port for @p bytes, starting no earlier than
+     * @p earliest.
+     * @return tick at which the last byte has passed.
+     */
+    Tick
+    reserve(Tick earliest, Bytes bytes)
+    {
+        MGSEC_ASSERT(bytes > 0, "zero-byte reservation");
+        const auto dur = static_cast<Cycles>(
+            std::ceil(static_cast<double>(bytes) / bpc_));
+        const Tick start = std::max(earliest, next_free_);
+        next_free_ = start + dur;
+        busy_ += static_cast<double>(dur);
+        bytes_ += static_cast<double>(bytes);
+        return next_free_;
+    }
+
+    Tick nextFree() const { return next_free_; }
+    double busyCycles() const { return busy_; }
+    double bytesCarried() const { return bytes_; }
+    double bytesPerCycle() const { return bpc_; }
+
+  private:
+    double bpc_;
+    Tick next_free_ = 0;
+    double busy_ = 0.0;
+    double bytes_ = 0.0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_NET_SERIALIZER_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Security-metadata batching (paper Section IV-C).
+ *
+ * Sender side (BatchAssembler): consecutive data responses to the
+ * same destination join a batch of up to n messages. Per-message
+ * MsgMACs are withheld; the batch's first message carries a 1 B
+ * length field and the closing message carries the single batched
+ * MsgMAC. One ACK covers the whole batch. Idle batches flush early
+ * through a standalone trailer.
+ *
+ * Receiver side (MsgMacStorage): per-message MACs computed locally
+ * are parked (2 KB per GPU, Sec. IV-D) until the batch completes,
+ * enabling lazy verification and out-of-order arrival.
+ */
+
+#ifndef MGSEC_SECURE_BATCHING_HH
+#define MGSEC_SECURE_BATCHING_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** What a packet must carry for the batch protocol. */
+struct BatchTag
+{
+    std::uint64_t batchId = 0;
+    bool first = false;       ///< carries the length byte
+    bool last = false;        ///< carries the batched MsgMAC
+    std::uint8_t declaredLen = 0;
+};
+
+class BatchAssembler : public SimObject
+{
+  public:
+    /**
+     * @param flush called when an idle batch must close via a
+     *        standalone trailer: (dst, batchId, count).
+     */
+    using FlushFn =
+        std::function<void(NodeId, std::uint64_t, std::uint8_t)>;
+
+    BatchAssembler(const std::string &name, EventQueue &eq,
+                   std::uint32_t num_nodes, std::uint32_t batch_size,
+                   Cycles idle_timeout, FlushFn flush);
+
+    /** Register a data response heading to @p dst. */
+    BatchTag onSend(NodeId dst);
+
+    /** Force-close every open batch (end-of-run drain). */
+    void drain();
+
+    std::uint64_t batchesOpened() const
+    {
+        return static_cast<std::uint64_t>(opened_.value());
+    }
+    std::uint64_t batchesClosedFull() const
+    {
+        return static_cast<std::uint64_t>(closed_full_.value());
+    }
+    std::uint64_t batchesFlushed() const
+    {
+        return static_cast<std::uint64_t>(flushed_.value());
+    }
+
+  private:
+    struct Open
+    {
+        std::uint64_t id = 0;
+        std::uint8_t count = 0;
+        EventId timeout;
+        bool active = false;
+    };
+
+    void armTimeout(NodeId dst);
+    void flushDst(NodeId dst);
+
+    std::uint32_t batch_size_;
+    Cycles idle_timeout_;
+    FlushFn flush_;
+    std::vector<Open> open_;
+    std::uint64_t next_id_ = 1;
+
+    stats::Scalar opened_{"batchesOpened", "batches opened"};
+    stats::Scalar closed_full_{"batchesClosedFull",
+                               "batches closed at full size"};
+    stats::Scalar flushed_{"batchesFlushed",
+                           "batches flushed by idle timeout"};
+};
+
+class MsgMacStorage : public SimObject
+{
+  public:
+    /** Called when a batch fully verifies: (src, batchId). */
+    using CompleteFn = std::function<void(NodeId, std::uint64_t)>;
+
+    MsgMacStorage(const std::string &name, EventQueue &eq,
+                  std::uint32_t num_nodes, std::uint32_t per_peer_cap,
+                  CompleteFn complete);
+
+    /**
+     * A batched data message arrived from @p src.
+     * @param declared_len nonzero on the batch's first message.
+     * @param has_trailer true when this message closes the batch.
+     */
+    void onData(NodeId src, std::uint64_t batch_id,
+                std::uint8_t declared_len, bool has_trailer);
+
+    /** A standalone trailer arrived with the real batch length. */
+    void onTrailer(NodeId src, std::uint64_t batch_id,
+                   std::uint8_t count);
+
+    /** MACs currently parked for @p src. */
+    std::uint32_t occupancy(NodeId src) const;
+
+    std::uint64_t overflows() const
+    {
+        return static_cast<std::uint64_t>(overflow_.value());
+    }
+    std::uint64_t completions() const
+    {
+        return static_cast<std::uint64_t>(complete_count_.value());
+    }
+
+  private:
+    struct Pending
+    {
+        std::uint8_t received = 0;
+        std::uint8_t declared = 0;  ///< length byte, first message
+        std::uint8_t expected = 0;  ///< 0 while unknown
+        bool trailer = false;
+    };
+
+    void maybeComplete(NodeId src, std::uint64_t batch_id);
+
+    std::uint32_t per_peer_cap_;
+    CompleteFn complete_;
+    /** pending_[src][batchId]. */
+    std::vector<std::unordered_map<std::uint64_t, Pending>> pending_;
+
+    stats::Scalar overflow_{"macStorageOverflow",
+                            "MAC storage capacity exceeded"};
+    stats::Scalar complete_count_{"batchesVerified",
+                                  "batches lazily verified"};
+    stats::Scalar peak_{"macStoragePeak", "peak parked MACs"};
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SECURE_BATCHING_HH

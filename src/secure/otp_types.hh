@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared vocabulary for the OTP buffer-management schemes.
+ */
+
+#ifndef MGSEC_SECURE_OTP_TYPES_HH
+#define MGSEC_SECURE_OTP_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Which half of a node's secure traffic a pad serves. */
+enum class Direction : std::uint8_t { Send = 0, Recv = 1 };
+constexpr std::size_t kNumDirections = 2;
+
+const char *directionName(Direction d);
+
+/**
+ * How much of the AES-GCM latency the pad pre-generation hid
+ * (the paper's Fig. 10 taxonomy):
+ *   Hit     - pad ready on arrival: only the 1-cycle XOR is exposed.
+ *   Partial - generation in flight: part of the latency is exposed.
+ *   Miss    - the full generation latency (or more, queueing behind
+ *             earlier pads) is exposed.
+ */
+enum class OtpOutcome : std::uint8_t { Hit = 0, Partial = 1, Miss = 2 };
+constexpr std::size_t kNumOutcomes = 3;
+
+const char *otpOutcomeName(OtpOutcome o);
+
+/** Result of claiming a send pad. */
+struct SendGrant
+{
+    std::uint64_t ctr = 0;   ///< MsgCTR assigned to the message
+    OtpOutcome outcome = OtpOutcome::Hit;
+    Tick padReady = 0;       ///< when the pad can be consumed
+};
+
+/** Result of claiming a receive pad. */
+struct RecvGrant
+{
+    OtpOutcome outcome = OtpOutcome::Hit;
+    Tick padReady = 0;
+};
+
+/**
+ * On-chip cost of one OTP buffer entry, Section IV-D: valid bit +
+ * 512 b encryption pad + 128 b authentication pad + 64 b counter.
+ */
+constexpr double kOtpEntryBits = 1 + 512 + 128 + 64;
+constexpr double kOtpEntryBytes = kOtpEntryBits / 8.0; // 88.125 B
+
+} // namespace mgsec
+
+#endif // MGSEC_SECURE_OTP_TYPES_HH

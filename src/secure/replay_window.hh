@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Replay-attack protection bookkeeping (paper Section II-C).
+ *
+ * The sender keeps the MsgCTR of every message until the matching
+ * ACK returns; the window is per destination. ACKs are cumulative
+ * along a pair's in-order counter stream.
+ */
+
+#ifndef MGSEC_SECURE_REPLAY_WINDOW_HH
+#define MGSEC_SECURE_REPLAY_WINDOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+class ReplayWindow
+{
+  public:
+    ReplayWindow(std::uint32_t num_nodes, std::uint32_t capacity)
+        : pending_(num_nodes), capacity_(capacity)
+    {}
+
+    /** Track an un-ACKed outgoing message. */
+    void
+    add(NodeId dst, std::uint64_t ctr)
+    {
+        pending_[dst].push_back(ctr);
+        const std::size_t total = outstandingTotal();
+        peak_ = std::max(peak_, total);
+        if (total > capacity_)
+            ++overflows_;
+    }
+
+    /** Cumulative ACK: everything on the pair up to @p ctr is safe. */
+    std::uint32_t
+    ackUpTo(NodeId dst, std::uint64_t ctr)
+    {
+        auto &q = pending_[dst];
+        std::uint32_t n = 0;
+        while (!q.empty() && q.front() <= ctr) {
+            q.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    std::size_t
+    outstanding(NodeId dst) const
+    {
+        return pending_[dst].size();
+    }
+
+    std::size_t
+    outstandingTotal() const
+    {
+        std::size_t total = 0;
+        for (const auto &q : pending_)
+            total += q.size();
+        return total;
+    }
+
+    std::size_t peak() const { return peak_; }
+    std::uint64_t overflows() const { return overflows_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    std::vector<std::deque<std::uint64_t>> pending_;
+    std::uint32_t capacity_;
+    std::size_t peak_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SECURE_REPLAY_WINDOW_HH

@@ -1,0 +1,432 @@
+#include "secure/secure_channel.hh"
+
+#include <algorithm>
+
+#include "sim/debug.hh"
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
+                             Network &net, NodeId self,
+                             const SecurityConfig &cfg)
+    : SimObject(name, eq), net_(net), self_(self), cfg_(cfg),
+      replay_(net.numNodes(), 16384),
+      pending_acks_(net.numNodes()), ack_timers_(net.numNodes()),
+      last_departure_(net.numNodes(), 0)
+{
+    if (cfg_.secured()) {
+        pad_table_ = makePadTable(
+            cfg_.scheme, name + ".pads", eq, self_, net_.numNodes(),
+            cfg_.totalOtpEntries(net_.numNodes()), cfg_.aesLatency,
+            cfg_.dynParams);
+        if (cfg_.batching) {
+            assembler_ = std::make_unique<BatchAssembler>(
+                name + ".batcher", eq, net_.numNodes(),
+                cfg_.batchSize, cfg_.batchTimeout,
+                [this](NodeId dst, std::uint64_t id,
+                       std::uint8_t count) {
+                    sendBatchTrailer(dst, id, count);
+                });
+            storage_ = std::make_unique<MsgMacStorage>(
+                name + ".macstore", eq, net_.numNodes(),
+                cfg_.msgMacStoragePerPeer,
+                [this](NodeId src, std::uint64_t batch_id) {
+                    // Lazy verification done: one cumulative ACK
+                    // covers the whole batch.
+                    if (factory_)
+                        finishFunctionalBatch(src, batch_id);
+                    queueAck(src, AckRecord{self_,
+                                            last_recv_ctr_[src], 0});
+                });
+        }
+    }
+    if (cfg_.secured() && cfg_.functionalCrypto)
+        factory_ = std::make_unique<crypto::PadFactory>(
+            cfg_.sessionKey);
+    last_recv_ctr_.assign(net_.numNodes(), 0);
+    has_recv_.assign(net_.numNodes(), 0);
+    last_deliver_.assign(net_.numNodes(), 0);
+
+    regStat(packets_sent_);
+    regStat(standalone_acks_);
+    regStat(piggybacked_acks_);
+    regStat(trailers_);
+    regStat(replay_suspects_);
+    regStat(mac_verified_);
+    regStat(mac_failed_);
+    regStat(decrypt_ok_);
+    regStat(decrypt_bad_);
+
+    net_.setHandler(self_, [this](PacketPtr pkt) {
+        handleArrival(std::move(pkt));
+    });
+}
+
+void
+SecureChannel::send(PacketPtr pkt)
+{
+    MGSEC_ASSERT(pkt->src == self_, "packet src %u from node %u",
+                 pkt->src, self_);
+    pkt->id = next_pkt_id_++;
+    pkt->headerBytes = cfg_.headerBytes;
+
+    if (!cfg_.secured()) {
+        finishSend(std::move(pkt), now());
+        return;
+    }
+
+    const SendGrant grant = pad_table_->acquireSend(pkt->dst);
+    pkt->secured = true;
+    pkt->msgCtr = grant.ctr;
+    pkt->padFallback = grant.outcome == OtpOutcome::Miss;
+
+    Bytes meta = cfg_.ctrBytes;
+    // In batching mode every data message's MsgMAC joins its
+    // destination's batch (the paper describes data responses; page
+    // migration blocks and requests batch the same way — one MsgMAC
+    // and one ACK per group).
+    const bool batch_eligible = cfg_.batching;
+    if (batch_eligible) {
+        const BatchTag tag = assembler_->onSend(pkt->dst);
+        pkt->batchId = tag.batchId;
+        pkt->batchLast = tag.last;
+        pkt->batchLen = tag.first ? tag.declaredLen : 0;
+        pkt->hasMac = tag.last; // the batched MsgMAC rides the closer
+        if (tag.first)
+            meta += cfg_.batchLenBytes;
+        if (tag.last)
+            meta += cfg_.macBytes;
+        replay_.add(pkt->dst, grant.ctr);
+    } else {
+        pkt->hasMac = true;
+        meta += cfg_.macBytes;
+        // Requests are implicitly acknowledged by their data
+        // response; only responses join the replay window and draw
+        // a dedicated ACK.
+        if (pkt->isResponse())
+            replay_.add(pkt->dst, grant.ctr);
+    }
+    if (cfg_.countMetadataBytes)
+        pkt->secMetaBytes = meta;
+
+    if (factory_)
+        applyFunctionalSend(*pkt);
+
+    MGSEC_DPRINTF(debug::Channel,
+                  "send %s to %u ctr=%llu outcome=%s",
+                  packetTypeName(pkt->type), pkt->dst,
+                  static_cast<unsigned long long>(grant.ctr),
+                  otpOutcomeName(grant.outcome));
+
+    // Pad wait plus the one-cycle XOR; clamped so a pair's packets
+    // depart in counter order (the link preserves it from there).
+    Tick dep = std::max(now(), grant.padReady) + 1;
+    dep = std::max(dep, last_departure_[pkt->dst]);
+    last_departure_[pkt->dst] = dep;
+
+    if (dep <= now()) {
+        finishSend(std::move(pkt), now());
+    } else {
+        auto *raw = pkt.release();
+        eventq().schedule(dep, [this, raw]() {
+            finishSend(PacketPtr(raw), now());
+        });
+    }
+}
+
+crypto::BlockPayload
+SecureChannel::synthesize(NodeId src, NodeId dst, std::uint64_t ctr)
+{
+    crypto::BlockPayload p;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] = static_cast<std::uint8_t>(
+            (ctr >> ((i % 8) * 8)) ^ (src * 131) ^ (dst * 193) ^
+            (i * 7));
+    }
+    return p;
+}
+
+crypto::MessagePad
+SecureChannel::batchMaskPad(NodeId sender, NodeId receiver,
+                            std::uint64_t batch_id) const
+{
+    // Both endpoints can derive this from the batch id alone.
+    return factory_->derive(sender, receiver,
+                            0x8000000000000000ULL | batch_id);
+}
+
+void
+SecureChannel::applyFunctionalSend(Packet &pkt)
+{
+    const crypto::MessagePad pad =
+        factory_->derive(self_, pkt.dst, pkt.msgCtr);
+    auto fp = std::make_shared<FunctionalPayload>();
+    crypto::BlockPayload cipher{};
+    if (pkt.payloadBytes >= kBlockBytes) {
+        const crypto::BlockPayload pt =
+            synthesize(self_, pkt.dst, pkt.msgCtr);
+        cipher = crypto::PadFactory::crypt(pt, pad);
+        fp->cipher = cipher;
+        fp->hasCipher = true;
+    }
+    const crypto::MsgMac msg_mac =
+        factory_->mac(cipher, self_, pkt.dst, pkt.msgCtr, pad);
+    if (pkt.batchId != 0) {
+        auto &macs = batch_macs_out_[pkt.batchId];
+        macs.push_back(msg_mac);
+        if (pkt.batchLast && pkt.hasMac) {
+            fp->mac = factory_->batchMac(
+                macs, batchMaskPad(self_, pkt.dst, pkt.batchId));
+            fp->hasMac = true;
+            batch_macs_out_.erase(pkt.batchId);
+        }
+    } else if (pkt.hasMac) {
+        fp->mac = msg_mac;
+        fp->hasMac = true;
+    }
+    pkt.func = std::move(fp);
+}
+
+void
+SecureChannel::finishFunctionalBatch(NodeId src,
+                                     std::uint64_t batch_id)
+{
+    const auto key = std::make_pair(src, batch_id);
+    auto it = recv_batches_.find(key);
+    if (it == recv_batches_.end())
+        return;
+    RecvBatch &rb = it->second;
+    if (!rb.haveTrailer)
+        return;
+    const crypto::MsgMac expect = factory_->batchMac(
+        rb.macs, batchMaskPad(src, self_, batch_id));
+    if (expect == rb.trailer)
+        ++mac_verified_;
+    else
+        ++mac_failed_;
+    recv_batches_.erase(it);
+}
+
+void
+SecureChannel::verifyFunctionalRecv(const Packet &pkt)
+{
+    const crypto::MessagePad pad =
+        factory_->derive(pkt.src, self_, pkt.msgCtr);
+    crypto::BlockPayload cipher{};
+    if (pkt.func && pkt.func->hasCipher) {
+        cipher = pkt.func->cipher;
+        const crypto::BlockPayload plain =
+            crypto::PadFactory::crypt(cipher, pad);
+        if (plain == synthesize(pkt.src, self_, pkt.msgCtr))
+            ++decrypt_ok_;
+        else
+            ++decrypt_bad_;
+    }
+    const crypto::MsgMac msg_mac =
+        factory_->mac(cipher, pkt.src, self_, pkt.msgCtr, pad);
+    if (pkt.batchId != 0) {
+        RecvBatch &rb =
+            recv_batches_[std::make_pair(pkt.src, pkt.batchId)];
+        rb.macs.push_back(msg_mac);
+        if (pkt.batchLast && pkt.func && pkt.func->hasMac) {
+            rb.trailer = pkt.func->mac;
+            rb.haveTrailer = true;
+        }
+    } else if (pkt.hasMac) {
+        if (pkt.func && pkt.func->hasMac && pkt.func->mac == msg_mac)
+            ++mac_verified_;
+        else
+            ++mac_failed_;
+    }
+}
+
+void
+SecureChannel::finishSend(PacketPtr pkt, Tick departure)
+{
+    pkt->sendReady = departure;
+
+    // Ride pending ACKs for this destination.
+    auto &pa = pending_acks_[pkt->dst];
+    const std::size_t n = std::min<std::size_t>(
+        pa.size(), cfg_.maxPiggybackAcks);
+    if (n > 0) {
+        pkt->acks.assign(pa.begin(),
+                         pa.begin() + static_cast<std::ptrdiff_t>(n));
+        pa.erase(pa.begin(), pa.begin() + static_cast<std::ptrdiff_t>(n));
+        piggybacked_acks_ += static_cast<double>(n);
+        if (cfg_.countMetadataBytes)
+            pkt->ackBytes = static_cast<Bytes>(n) * cfg_.ackBytes;
+        if (pa.empty() && ack_timers_[pkt->dst].valid()) {
+            eventq().cancel(ack_timers_[pkt->dst]);
+            ack_timers_[pkt->dst] = EventId{};
+        }
+    }
+
+    ++packets_sent_;
+    if (observer_ && pkt->isResponse() &&
+        pkt->payloadBytes >= kBlockBytes)
+        observer_(pkt->dst, now());
+    net_.send(std::move(pkt));
+}
+
+void
+SecureChannel::queueAck(NodeId peer, const AckRecord &rec)
+{
+    auto &pa = pending_acks_[peer];
+    pa.push_back(rec);
+    if (!ack_timers_[peer].valid()) {
+        ack_timers_[peer] =
+            eventq().scheduleIn(cfg_.ackTimeout, [this, peer]() {
+                ack_timers_[peer] = EventId{};
+                flushAcks(peer);
+            });
+    }
+}
+
+void
+SecureChannel::flushAcks(NodeId peer)
+{
+    auto &pa = pending_acks_[peer];
+    if (pa.empty())
+        return;
+    auto pkt = std::make_unique<Packet>();
+    pkt->id = next_pkt_id_++;
+    pkt->type = PacketType::SecAck;
+    pkt->src = self_;
+    pkt->dst = peer;
+    pkt->acks = std::move(pa);
+    pa.clear();
+    if (cfg_.countMetadataBytes) {
+        pkt->headerBytes = cfg_.ackHeaderBytes;
+        pkt->ackBytes = static_cast<Bytes>(pkt->acks.size()) *
+                        cfg_.ackBytes;
+    } else {
+        pkt->headerBytes = 1; // protocol-only packet, token cost
+    }
+    ++standalone_acks_;
+    net_.send(std::move(pkt));
+}
+
+void
+SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
+                                std::uint8_t count)
+{
+    auto pkt = std::make_unique<Packet>();
+    pkt->id = next_pkt_id_++;
+    pkt->type = PacketType::BatchMac;
+    pkt->src = self_;
+    pkt->dst = dst;
+    pkt->batchId = batch_id;
+    pkt->batchLen = count;
+    pkt->hasMac = true;
+    if (factory_) {
+        auto it = batch_macs_out_.find(batch_id);
+        if (it != batch_macs_out_.end()) {
+            auto fp = std::make_shared<FunctionalPayload>();
+            fp->mac = factory_->batchMac(
+                it->second, batchMaskPad(self_, dst, batch_id));
+            fp->hasMac = true;
+            pkt->func = std::move(fp);
+            batch_macs_out_.erase(it);
+        }
+    }
+    if (cfg_.countMetadataBytes) {
+        pkt->headerBytes = cfg_.ackHeaderBytes;
+        pkt->secMetaBytes = cfg_.macBytes + cfg_.batchLenBytes;
+    } else {
+        pkt->headerBytes = 1;
+    }
+    ++trailers_;
+    net_.send(std::move(pkt));
+}
+
+void
+SecureChannel::processAcks(NodeId from,
+                           const std::vector<AckRecord> &acks)
+{
+    for (const AckRecord &rec : acks)
+        replay_.ackUpTo(from, rec.upToCtr);
+}
+
+void
+SecureChannel::handleArrival(PacketPtr pkt)
+{
+    MGSEC_ASSERT(pkt->dst == self_, "misrouted packet");
+    if (!pkt->acks.empty())
+        processAcks(pkt->src, pkt->acks);
+
+    switch (pkt->type) {
+      case PacketType::SecAck:
+        return;
+      case PacketType::BatchMac:
+        if (factory_ && pkt->func && pkt->func->hasMac) {
+            RecvBatch &rb = recv_batches_[std::make_pair(
+                pkt->src, pkt->batchId)];
+            rb.trailer = pkt->func->mac;
+            rb.haveTrailer = true;
+        }
+        if (storage_)
+            storage_->onTrailer(pkt->src, pkt->batchId, pkt->batchLen);
+        return;
+      default:
+        break;
+    }
+
+    if (!pkt->secured) {
+        MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
+        deliver_(std::move(pkt));
+        return;
+    }
+
+    const NodeId src = pkt->src;
+    if (has_recv_[src] && pkt->msgCtr <= last_recv_ctr_[src])
+        ++replay_suspects_;
+    last_recv_ctr_[src] = pkt->msgCtr;
+    has_recv_[src] = 1;
+
+    const RecvGrant grant =
+        pad_table_->acquireRecv(src, pkt->msgCtr, pkt->padFallback);
+    MGSEC_DPRINTF(debug::Channel,
+                  "recv %s from %u ctr=%llu outcome=%s",
+                  packetTypeName(pkt->type), src,
+                  static_cast<unsigned long long>(pkt->msgCtr),
+                  otpOutcomeName(grant.outcome));
+
+    if (factory_)
+        verifyFunctionalRecv(*pkt);
+
+    if (pkt->batchId != 0 && storage_ != nullptr) {
+        storage_->onData(src, pkt->batchId, pkt->batchLen,
+                         pkt->batchLast && pkt->hasMac);
+    } else if (pkt->isResponse()) {
+        queueAck(src, AckRecord{self_, pkt->msgCtr, 0});
+    }
+
+    Tick ready = std::max(now(), grant.padReady) + 1;
+    ready = std::max(ready, last_deliver_[src]);
+    last_deliver_[src] = ready;
+
+    MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
+    if (ready <= now()) {
+        deliver_(std::move(pkt));
+    } else {
+        auto *raw = pkt.release();
+        eventq().schedule(ready, [this, raw]() {
+            deliver_(PacketPtr(raw));
+        });
+    }
+}
+
+void
+SecureChannel::drainBatches()
+{
+    if (assembler_)
+        assembler_->drain();
+    for (NodeId p = 0; p < net_.numNodes(); ++p)
+        flushAcks(p);
+}
+
+} // namespace mgsec

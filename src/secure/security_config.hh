@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Knobs of the secure-communication layer (paper Section IV /
+ * Table III).
+ */
+
+#ifndef MGSEC_SECURE_SECURITY_CONFIG_HH
+#define MGSEC_SECURE_SECURITY_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "secure/pad_table.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+struct SecurityConfig
+{
+    OtpScheme scheme = OtpScheme::Private;
+
+    /** Enable the paper's security-metadata batching (Sec. IV-C). */
+    bool batching = false;
+    std::uint32_t batchSize = 16;
+
+    /** AES-GCM pad generation latency (Table III: 40 cycles). */
+    Cycles aesLatency = 40;
+
+    /**
+     * OTP quota multiplier "OTP Nx": every node owns
+     * (numNodes-1) * 2 * N entries, matching Table I.
+     */
+    std::uint32_t otpMultiplier = 4;
+    /** Nonzero overrides the Table-I formula with an exact total. */
+    std::uint32_t totalOtpOverride = 0;
+
+    /**
+     * When false, security metadata consumes no wire bytes: the
+     * "+SecureCommu" scenario of Fig. 11 (latency effects only).
+     */
+    bool countMetadataBytes = true;
+
+    /** @name Wire-format byte costs */
+    /// @{
+    Bytes headerBytes = 16;     ///< packet header (addr, ids, type)
+    Bytes ctrBytes = 8;         ///< MsgCTR + sender id per message
+    Bytes macBytes = 8;         ///< MsgMAC
+    Bytes ackBytes = 8;         ///< one ACK record
+    Bytes ackHeaderBytes = 8;   ///< standalone ACK/trailer header
+    Bytes batchLenBytes = 1;    ///< batch length on first message
+    /// @}
+
+    /** Pending ACKs flush standalone after this many cycles. */
+    Cycles ackTimeout = 100;
+    /** An open batch flushes (short) after this many idle cycles. */
+    Cycles batchTimeout = 400;
+    /** Max ACK records piggybacked on one data packet. */
+    std::uint32_t maxPiggybackAcks = 2;
+
+    /** Receiver MsgMAC storage per peer (Sec. IV-D: 64 entries). */
+    std::uint32_t msgMacStoragePerPeer = 64;
+
+    DynamicPadTable::Params dynParams{};
+
+    /**
+     * Carry and verify real AES-GCM-derived pads/MACs on every data
+     * message (slow; for protocol validation and attack tests).
+     */
+    bool functionalCrypto = false;
+    /** Session key exchanged at boot (Sec. IV-A). */
+    std::array<std::uint8_t, 16> sessionKey{
+        0x6d, 0x67, 0x73, 0x65, 0x63, 0x2d, 0x6b, 0x65,
+        0x79, 0x2d, 0x76, 0x31, 0x00, 0x00, 0x00, 0x00};
+
+    bool secured() const { return scheme != OtpScheme::Unsecure; }
+
+    std::uint32_t
+    totalOtpEntries(std::uint32_t num_nodes) const
+    {
+        if (totalOtpOverride != 0)
+            return totalOtpOverride;
+        return (num_nodes - 1) * 2 * otpMultiplier;
+    }
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SECURE_SECURITY_CONFIG_HH

@@ -1,0 +1,103 @@
+#include "sim/debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mgsec::debug
+{
+
+namespace
+{
+
+std::vector<DebugFlag *> &
+registry()
+{
+    static std::vector<DebugFlag *> flags;
+    return flags;
+}
+
+std::ostream *sink = nullptr;
+
+} // anonymous namespace
+
+DebugFlag::DebugFlag(const char *name, const char *desc)
+    : name_(name), desc_(desc)
+{
+    registry().push_back(this);
+}
+
+const std::vector<DebugFlag *> &
+DebugFlag::all()
+{
+    return registry();
+}
+
+bool
+DebugFlag::enableByName(const std::string &names)
+{
+    bool all_matched = true;
+    std::istringstream ss(names);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "All" || tok == "all") {
+            for (DebugFlag *f : registry())
+                f->enable();
+            continue;
+        }
+        bool matched = false;
+        for (DebugFlag *f : registry()) {
+            if (tok == f->name()) {
+                f->enable();
+                matched = true;
+            }
+        }
+        if (!matched) {
+            warn("unknown debug flag '%s'", tok.c_str());
+            all_matched = false;
+        }
+    }
+    return all_matched;
+}
+
+void
+DebugFlag::disableAll()
+{
+    for (DebugFlag *f : registry())
+        f->disable();
+}
+
+std::ostream &
+stream()
+{
+    return sink != nullptr ? *sink : std::cerr;
+}
+
+void
+setStream(std::ostream &os)
+{
+    sink = &os;
+}
+
+void
+enableFromEnv()
+{
+    if (const char *env = std::getenv("MGSEC_DEBUG"))
+        DebugFlag::enableByName(env);
+}
+
+void
+print(Tick tick, const std::string &component,
+      const std::string &message)
+{
+    stream() << tick << ": " << component << ": " << message << "\n";
+}
+
+DebugFlag Channel("Channel", "secure channel send/recv/ACK flow");
+DebugFlag PadTable("PadTable", "dynamic OTP quota adjustments");
+DebugFlag NodeFlag("Node", "issue engine and page migrations");
+DebugFlag Batch("Batch", "metadata batch lifecycle");
+
+} // namespace mgsec::debug

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Runtime-selectable debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Components declare a DebugFlag and emit trace lines through
+ * MGSEC_DPRINTF (usable inside any SimObject member). Flags are
+ * enabled programmatically, by name, or through the MGSEC_DEBUG
+ * environment variable ("Channel,PadTable" or "All").
+ *
+ * Every line is "<tick>: <component>: <message>", written to a
+ * redirectable stream so tests can capture it.
+ */
+
+#ifndef MGSEC_SIM_DEBUG_HH
+#define MGSEC_SIM_DEBUG_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mgsec::debug
+{
+
+class DebugFlag
+{
+  public:
+    DebugFlag(const char *name, const char *desc);
+
+    const char *name() const { return name_; }
+    const char *desc() const { return desc_; }
+    bool enabled() const { return enabled_; }
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+
+    /** All registered flags (registration order). */
+    static const std::vector<DebugFlag *> &all();
+
+    /**
+     * Enable flags from a comma-separated list; "All" enables
+     * everything.
+     * @retval false some name did not match any flag.
+     */
+    static bool enableByName(const std::string &names);
+
+    /** Disable every flag (test isolation). */
+    static void disableAll();
+
+  private:
+    const char *name_;
+    const char *desc_;
+    bool enabled_ = false;
+};
+
+/** The trace sink (defaults to std::cerr). */
+std::ostream &stream();
+void setStream(std::ostream &os);
+
+/** Apply MGSEC_DEBUG from the environment (call once at startup). */
+void enableFromEnv();
+
+/** Emit one formatted trace line. */
+void print(Tick tick, const std::string &component,
+           const std::string &message);
+
+/** @name The flags used by the mgsec components */
+/// @{
+extern DebugFlag Channel;  ///< secure channel send/recv/ACK flow
+extern DebugFlag PadTable; ///< dynamic quota adjustments
+extern DebugFlag NodeFlag; ///< issue engine, migrations
+extern DebugFlag Batch;    ///< batch open/close/flush
+/// @}
+
+} // namespace mgsec::debug
+
+/**
+ * Trace from inside a SimObject member function.
+ * Usage: MGSEC_DPRINTF(debug::Channel, "sent ctr %llu", ctr);
+ */
+#define MGSEC_DPRINTF(flag, ...)                                       \
+    do {                                                               \
+        if ((flag).enabled()) {                                       \
+            ::mgsec::debug::print(now(), name(),                      \
+                                  ::mgsec::strformat(__VA_ARGS__));   \
+        }                                                              \
+    } while (0)
+
+#endif // MGSEC_SIM_DEBUG_HH

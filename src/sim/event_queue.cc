@@ -1,0 +1,90 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    MGSEC_ASSERT(when >= now_,
+                 "scheduling into the past: when=%llu now=%llu",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+    MGSEC_ASSERT(cb != nullptr, "null event callback");
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, std::move(cb)});
+    pending_ids_.insert(seq);
+    ++live_;
+    return EventId{seq};
+}
+
+EventId
+EventQueue::scheduleIn(Cycles delta, Callback cb)
+{
+    return schedule(now_ + delta, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (!id.valid())
+        return false;
+    // Only a still-pending event can be cancelled; ids of events
+    // that already ran (or were already cancelled) are rejected.
+    auto it = pending_ids_.find(id.seq);
+    if (it == pending_ids_.end())
+        return false;
+    pending_ids_.erase(it);
+    cancelled_.insert(id.seq);
+    MGSEC_ASSERT(live_ > 0, "live counter out of sync");
+    --live_;
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto cit = cancelled_.find(e.seq);
+        if (cit != cancelled_.end()) {
+            cancelled_.erase(cit);
+            continue;
+        }
+        MGSEC_ASSERT(e.when >= now_, "event queue time went backwards");
+        pending_ids_.erase(e.seq);
+        now_ = e.when;
+        --live_;
+        ++executed_;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick until, std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && !heap_.empty()) {
+        // Peek past cancelled entries to honour the time bound.
+        while (!heap_.empty() &&
+               cancelled_.count(heap_.top().seq) != 0) {
+            cancelled_.erase(heap_.top().seq);
+            heap_.pop();
+        }
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        if (!runOne())
+            break;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace mgsec

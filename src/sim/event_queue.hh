@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence) keyed callbacks.
+ * Events scheduled for the same tick execute in scheduling (FIFO)
+ * order, which every higher-level component relies on for in-order
+ * link delivery and deterministic replays.
+ */
+
+#ifndef MGSEC_SIM_EVENT_QUEUE_HH
+#define MGSEC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/**
+ * Handle returned by EventQueue::schedule(); lets the creator cancel
+ * the event before it fires.
+ */
+struct EventId
+{
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+    bool operator==(const EventId &o) const { return seq == o.seq; }
+};
+
+/**
+ * The event queue. Owns simulated time: time only advances when
+ * events execute.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated tick. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @pre when >= now()
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    EventId scheduleIn(Cycles delta, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @retval true the event existed and will not run.
+     * @retval false the event already ran, was cancelled, or never
+     *               existed.
+     */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::uint64_t pending() const { return live_; }
+
+    /**
+     * Execute the next event, advancing time to it.
+     * @retval false the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains, @p until is passed, or
+     * @p max_events have executed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick until = MaxTick,
+                      std::uint64_t max_events = UINT64_MAX);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Seqs scheduled but not yet executed or cancelled. */
+    std::unordered_set<std::uint64_t> pending_ids_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t live_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_EVENT_QUEUE_HH

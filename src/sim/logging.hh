@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error/status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  - the user asked for something unsupported (bad config);
+ *            exits with status 1.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef MGSEC_SIM_LOGGING_HH
+#define MGSEC_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mgsec
+{
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrformat(const char *fmt, va_list ap);
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Verify a simulator invariant; calls panic() with location info when
+ * the condition does not hold. Enabled in all build types: the
+ * simulator is cheap enough that we never want silent corruption.
+ */
+#define MGSEC_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::mgsec::panic("assertion '%s' failed at %s:%d: %s", #cond,   \
+                           __FILE__, __LINE__,                            \
+                           ::mgsec::strformat(__VA_ARGS__).c_str());      \
+        }                                                                 \
+    } while (0)
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_LOGGING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic random-number helper used by the workload generators.
+ *
+ * A thin wrapper over std::mt19937_64 with the draw primitives the
+ * synthetic traffic models need. Every run seeds its own Rng, so runs
+ * are reproducible bit-for-bit regardless of scheduling.
+ */
+
+#ifndef MGSEC_SIM_RNG_HH
+#define MGSEC_SIM_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+    void reseed(std::uint64_t seed) { gen_.seed(seed); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        MGSEC_ASSERT(lo <= hi, "bad range");
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish integer gap with the given mean (>= 1). */
+    std::uint64_t
+    gap(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        std::exponential_distribution<double> d(1.0 / (mean - 1.0));
+        return 1 + static_cast<std::uint64_t>(d(gen_));
+    }
+
+    /**
+     * Draw an index according to @p weights (need not be normalized).
+     * @pre at least one weight is positive.
+     */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        MGSEC_ASSERT(total > 0.0, "all-zero weight vector");
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_RNG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef MGSEC_SIM_SIM_OBJECT_HH
+#define MGSEC_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace mgsec
+{
+
+/**
+ * A named component bound to an event queue, owning a stat group.
+ * Components are created once per system and wired together by the
+ * system builder; they are non-copyable.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eq_(eq), stats_(name_)
+    {}
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eq_; }
+    Tick now() const { return eq_.now(); }
+
+    stats::StatGroup &statGroup() { return stats_; }
+    const stats::StatGroup &statGroup() const { return stats_; }
+
+  protected:
+    /** Register a member stat into this object's group. */
+    void regStat(stats::Stat &s) { stats_.add(s); }
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+    stats::StatGroup stats_;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_SIM_OBJECT_HH

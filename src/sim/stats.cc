@@ -1,0 +1,143 @@
+#include "sim/stats.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mgsec::stats
+{
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    os << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+Distribution::Distribution(std::string name, std::string desc,
+                           double min, double max,
+                           std::size_t num_buckets)
+    : Stat(std::move(name), std::move(desc)), lo_(min), hi_(max),
+      width_((max - min) / static_cast<double>(num_buckets)),
+      buckets_(num_buckets, 0)
+{
+    MGSEC_ASSERT(max > min && num_buckets > 0,
+                 "bad distribution range [%f, %f) x %zu", min, max,
+                 num_buckets);
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        min_seen_ = v;
+        max_seen_ = v;
+    } else {
+        min_seen_ = std::min(min_seen_, v);
+        max_seen_ = std::max(max_seen_, v);
+    }
+    count_ += count;
+    sum_ += v * static_cast<double>(count);
+    sqsum_ += v * v * static_cast<double>(count);
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        buckets_[idx] += count;
+    }
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sqsum_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Distribution::bucketFrac(std::size_t i) const
+{
+    return count_ == 0
+        ? 0.0
+        : static_cast<double>(buckets_[i]) / static_cast<double>(count_);
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    os << name() << "::count " << count_ << " # " << desc() << "\n";
+    os << name() << "::mean " << mean() << "\n";
+    os << name() << "::stdev " << stddev() << "\n";
+    os << name() << "::underflow " << underflow_ << "\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        os << name() << "::[" << bucketLo(i) << ","
+           << bucketLo(i) + width_ << ") " << buckets_[i] << "\n";
+    }
+    os << name() << "::overflow " << overflow_ << "\n";
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    sqsum_ = 0.0;
+    min_seen_ = 0.0;
+    max_seen_ = 0.0;
+}
+
+void
+TimeSeries::dump(std::ostream &os) const
+{
+    os << name() << "::samples " << points_.size() << " # " << desc()
+       << "\n";
+}
+
+void
+StatGroup::addGroup(const StatGroup &g)
+{
+    for (Stat *s : g.all())
+        stats_.push_back(s);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Stat *s : stats_) {
+        std::ostringstream tmp;
+        s->dump(tmp);
+        std::istringstream lines(tmp.str());
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (!name_.empty())
+                os << name_ << ".";
+            os << line << "\n";
+        }
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : stats_)
+        s->reset();
+}
+
+} // namespace mgsec::stats

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight statistics package (a small cousin of gem5's).
+ *
+ * Components own their stats as members and register them with a
+ * StatGroup so a whole system can be dumped uniformly. All stats are
+ * plain value types; nothing here touches the event queue.
+ */
+
+#ifndef MGSEC_SIM_STATS_HH
+#define MGSEC_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mgsec::stats
+{
+
+/** Base class: a named, described statistic that can print itself. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print one or more "name value # desc" lines. */
+    virtual void dump(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single accumulating value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A bucketed distribution over a linear range, plus exact moments.
+ * Values outside [min, max) land in underflow/overflow buckets.
+ */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, double min,
+                 double max, std::size_t num_buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double stddev() const;
+    double minSeen() const { return min_seen_; }
+    double maxSeen() const { return max_seen_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    /** Lower bound of bucket i. */
+    double bucketLo(std::size_t i) const;
+    double bucketWidth() const { return width_; }
+    /** Fraction of samples in bucket i (0 when empty). */
+    double bucketFrac(std::size_t i) const;
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sqsum_ = 0.0;
+    double min_seen_ = 0.0;
+    double max_seen_ = 0.0;
+};
+
+/** (tick, value) samples, for the paper's time-phased plots. */
+class TimeSeries : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(Tick t, double v) { points_.emplace_back(t, v); }
+    const std::vector<std::pair<Tick, double>> &points() const
+    {
+        return points_;
+    }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { points_.clear(); }
+
+  private:
+    std::vector<std::pair<Tick, double>> points_;
+};
+
+/** A registry of stats that dumps them in registration order. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Register a stat the caller keeps ownership of. */
+    void add(Stat &s) { stats_.push_back(&s); }
+    /** Merge in all stats of another group (by reference). */
+    void addGroup(const StatGroup &g);
+
+    /** Dump all stats, each line prefixed with the group name. */
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+    const std::vector<Stat *> &all() const { return stats_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Stat *> stats_;
+};
+
+} // namespace mgsec::stats
+
+#endif // MGSEC_SIM_STATS_HH

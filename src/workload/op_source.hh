@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Abstract stream of remote operations driving one GPU.
+ *
+ * The synthetic TraceSource implements this; so does
+ * TraceFileSource, which replays a recorded trace — the hook for
+ * users who want to drive the secure-communication architecture
+ * with traffic captured from a real simulator or application.
+ */
+
+#ifndef MGSEC_WORKLOAD_OP_SOURCE_HH
+#define MGSEC_WORKLOAD_OP_SOURCE_HH
+
+#include <cstdint>
+
+namespace mgsec
+{
+
+struct RemoteOp;
+
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /** @retval false the stream is exhausted. */
+    virtual bool next(RemoteOp &op) = 0;
+
+    /** Total operations this source will produce. */
+    virtual std::uint64_t totalOps() const = 0;
+
+    /** Operations produced so far. */
+    virtual std::uint64_t generated() const = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_WORKLOAD_OP_SOURCE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic workload profiles for the paper's 17 benchmarks.
+ *
+ * The paper drives MGPUSim with real OpenCL kernels; this
+ * reproduction substitutes parameterized traffic models that match
+ * the characterization in Section III:
+ *   - RPKI class (Table IV) sets remote-traffic intensity,
+ *   - phased destination mixes reproduce the Fig. 13/14 locality,
+ *   - burst parameters reproduce the Fig. 15/16 accumulation times,
+ *   - the page-migration share splits traffic between 4 KB page
+ *     moves and 64 B direct block accesses.
+ * DESIGN.md documents why this substitution preserves the studied
+ * behaviour (the mechanisms live entirely in the communication
+ * path).
+ */
+
+#ifndef MGSEC_WORKLOAD_PROFILE_HH
+#define MGSEC_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Remote-requests-per-kilo-instruction class (paper Table IV). */
+enum class RpkiClass : std::uint8_t { High, Medium, Low };
+
+const char *rpkiClassName(RpkiClass c);
+
+/** Inter-GPU destination mix shapes. */
+enum class CommPattern : std::uint8_t
+{
+    Uniform,     ///< even over all peers
+    CpuHeavy,    ///< most traffic to/from the host
+    Ring,        ///< nearest GPU neighbours
+    Partner,     ///< fixed buddy GPU
+    HotSpot,     ///< one (rotating) hot GPU
+};
+
+/** One execution phase of a workload. */
+struct PhaseSpec
+{
+    double fraction = 1.0;      ///< share of the GPU's remote ops
+    CommPattern pattern = CommPattern::Uniform;
+    /** Rotation applied to ring/hotspot peers (phase index etc.). */
+    std::uint32_t hotOffset = 0;
+    double cpuShare = 0.1;      ///< fraction of traffic to the CPU
+    double writeFrac = 0.2;
+    double migratableFrac = 0.3;///< ops in migration-eligible pages
+    double meanBurst = 16.0;    ///< mean blocks per burst
+    Cycles intraGap = 2;        ///< issue gap inside a burst
+    Cycles interGap = 100;      ///< mean gap between bursts
+};
+
+struct WorkloadProfile
+{
+    std::string name;   ///< abbreviation used by the paper ("mm")
+    std::string suite;  ///< benchmark suite of origin
+    RpkiClass rpki = RpkiClass::Medium;
+    std::uint64_t opsPerGpu = 8000;
+    std::uint32_t pagesPerPeer = 64; ///< working-set pages per peer
+    std::vector<PhaseSpec> phases;
+};
+
+/**
+ * Build the profile for one of the 17 paper workloads.
+ * @param abbr paper abbreviation (Table IV), e.g. "mm", "spmv".
+ * @param scale multiplies opsPerGpu (tests use < 1 for speed).
+ * @param num_gpus partitioning degree: with the problem size fixed
+ *        (the paper's strong-scaling setup), finer partitioning
+ *        raises boundary traffic per unit of compute, so inter-burst
+ *        gaps shrink as (4 / num_gpus)^0.7.
+ * @throws via fatal() when the name is unknown.
+ */
+WorkloadProfile makeProfile(const std::string &abbr,
+                            double scale = 1.0,
+                            std::uint32_t num_gpus = 4);
+
+/** All 17 abbreviations, in the paper's Table IV order. */
+const std::vector<std::string> &workloadNames();
+
+/** The subset with a given RPKI class. */
+std::vector<std::string> workloadNames(RpkiClass c);
+
+} // namespace mgsec
+
+#endif // MGSEC_WORKLOAD_PROFILE_HH

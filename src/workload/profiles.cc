@@ -1,0 +1,329 @@
+#include "workload/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+const char *
+rpkiClassName(RpkiClass c)
+{
+    switch (c) {
+      case RpkiClass::High:
+        return "high";
+      case RpkiClass::Medium:
+        return "medium";
+      case RpkiClass::Low:
+        return "low";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * The profile construction below encodes the Section III / Table IV
+ * characterization of each benchmark: RPKI class decides traffic
+ * intensity (burst cadence), the phase list encodes the observed
+ * destination locality and its drift over time, and migratableFrac
+ * sets the page-migration vs. direct-block-access split.
+ */
+WorkloadProfile
+build(const std::string &abbr)
+{
+    WorkloadProfile p;
+    p.name = abbr;
+
+    auto phase = [](double frac, CommPattern pat, std::uint32_t off,
+                    double cpu, double wr, double mig, double burst,
+                    Cycles intra, Cycles inter) {
+        PhaseSpec s;
+        s.fraction = frac;
+        s.pattern = pat;
+        s.hotOffset = off;
+        s.cpuShare = cpu;
+        s.writeFrac = wr;
+        s.migratableFrac = mig;
+        s.meanBurst = burst;
+        s.intraGap = intra;
+        s.interGap = inter;
+        return s;
+    };
+
+    if (abbr == "mt") {
+        // Matrix transpose: streaming all-to-all scatter, nearly no
+        // reuse, write-heavy remote stores.
+        p.suite = "AMD APP SDK";
+        p.rpki = RpkiClass::High;
+        p.opsPerGpu = 14000;
+        p.pagesPerPeer = 512;
+        p.phases = {
+            phase(1.0, CommPattern::Uniform, 0, 0.05, 0.45, 0.10,
+                  48, 1, 150),
+        };
+    } else if (abbr == "relu") {
+        // DNN activation: stream tensor shards in from the host,
+        // apply, stream results out.
+        p.suite = "DNNMark";
+        p.rpki = RpkiClass::High;
+        p.opsPerGpu = 13000;
+        p.pagesPerPeer = 384;
+        p.phases = {
+            phase(0.55, CommPattern::CpuHeavy, 0, 0.55, 0.10, 0.30,
+                  48, 1, 130),
+            phase(0.45, CommPattern::CpuHeavy, 0, 0.50, 0.60, 0.30,
+                  48, 1, 135),
+        };
+    } else if (abbr == "pr") {
+        // PageRank: irregular gather over a partitioned graph.
+        p.suite = "Hetero-Mark";
+        p.rpki = RpkiClass::High;
+        p.opsPerGpu = 15000;
+        p.pagesPerPeer = 512;
+        p.phases = {
+            phase(1.0, CommPattern::Uniform, 0, 0.10, 0.10, 0.05,
+                  48, 1, 185),
+        };
+    } else if (abbr == "syr2k") {
+        // Rank-2k update: tiles sweep the peers phase by phase.
+        p.suite = "Polybench";
+        p.rpki = RpkiClass::High;
+        p.opsPerGpu = 14000;
+        p.pagesPerPeer = 256;
+        p.phases = {
+            phase(0.34, CommPattern::HotSpot, 0, 0.08, 0.25, 0.40,
+                  32, 1, 210),
+            phase(0.33, CommPattern::HotSpot, 1, 0.08, 0.25, 0.40,
+                  32, 1, 210),
+            phase(0.33, CommPattern::HotSpot, 2, 0.08, 0.25, 0.40,
+                  32, 1, 210),
+        };
+    } else if (abbr == "spmv") {
+        // Sparse matrix-vector: irregular vector gathers, host
+        // holds the dense vector.
+        p.suite = "SHOC";
+        p.rpki = RpkiClass::High;
+        p.opsPerGpu = 15000;
+        p.pagesPerPeer = 512;
+        p.phases = {
+            phase(1.0, CommPattern::Uniform, 0, 0.15, 0.05, 0.10,
+                  48, 1, 185),
+        };
+    } else if (abbr == "sc") {
+        // Simple convolution: halo exchange with ring neighbours.
+        p.suite = "AMD APP SDK";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 8000;
+        p.pagesPerPeer = 128;
+        p.phases = {
+            phase(1.0, CommPattern::Ring, 0, 0.15, 0.20, 0.50,
+                  12, 2, 80),
+        };
+    } else if (abbr == "mm") {
+        // Matrix multiplication: the Fig. 13/14 workload — input
+        // fetch from the host, then the B-tile sweeps the peer GPUs
+        // one phase at a time, then result writeback.
+        p.suite = "AMD APP SDK";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 9000;
+        p.pagesPerPeer = 160;
+        p.phases = {
+            phase(0.25, CommPattern::HotSpot, 0, 0.30, 0.10, 0.45,
+                  16, 2, 60),
+            phase(0.25, CommPattern::HotSpot, 1, 0.10, 0.10, 0.45,
+                  16, 2, 60),
+            phase(0.25, CommPattern::HotSpot, 2, 0.10, 0.10, 0.45,
+                  16, 2, 60),
+            phase(0.25, CommPattern::HotSpot, 3, 0.25, 0.50, 0.45,
+                  16, 2, 70),
+        };
+    } else if (abbr == "atax") {
+        // A^T * A * x: partner sweep, then host-side reduction.
+        p.suite = "Polybench";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 7000;
+        p.pagesPerPeer = 128;
+        p.phases = {
+            phase(0.6, CommPattern::Partner, 0, 0.10, 0.10, 0.35,
+                  12, 2, 100),
+            phase(0.4, CommPattern::CpuHeavy, 0, 0.70, 0.40, 0.35,
+                  12, 2, 110),
+        };
+    } else if (abbr == "bicg") {
+        // BiCG kernel: two matrix-vector sweeps with different
+        // access orders.
+        p.suite = "Polybench";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 7000;
+        p.pagesPerPeer = 128;
+        p.phases = {
+            phase(0.5, CommPattern::Partner, 0, 0.15, 0.10, 0.35,
+                  12, 2, 90),
+            phase(0.5, CommPattern::HotSpot, 1, 0.15, 0.30, 0.35,
+                  12, 2, 90),
+        };
+    } else if (abbr == "ges") {
+        // gesummv: two matrices stream by, host supplies the vector.
+        p.suite = "Polybench";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 7500;
+        p.pagesPerPeer = 128;
+        p.phases = {
+            phase(1.0, CommPattern::CpuHeavy, 0, 0.40, 0.15, 0.30,
+                  12, 2, 85),
+        };
+    } else if (abbr == "mvt") {
+        // Matrix-vector transposed: alternating sweep directions.
+        p.suite = "Polybench";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 7000;
+        p.pagesPerPeer = 128;
+        p.phases = {
+            phase(0.5, CommPattern::Partner, 0, 0.12, 0.10, 0.35,
+                  12, 2, 100),
+            phase(0.5, CommPattern::HotSpot, 2, 0.12, 0.30, 0.35,
+                  12, 2, 100),
+        };
+    } else if (abbr == "st") {
+        // Stencil2D: tight halo exchange, high page reuse.
+        p.suite = "SHOC";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 6500;
+        p.pagesPerPeer = 96;
+        p.phases = {
+            phase(1.0, CommPattern::Ring, 0, 0.05, 0.25, 0.60,
+                  8, 3, 130),
+        };
+    } else if (abbr == "fft") {
+        // FFT: butterfly exchanges at growing strides; metadata-
+        // bandwidth sensitive (Fig. 23 calls it out).
+        p.suite = "SHOC";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 8000;
+        p.pagesPerPeer = 192;
+        p.phases = {
+            phase(0.34, CommPattern::HotSpot, 1, 0.05, 0.30, 0.20,
+                  32, 1, 210),
+            phase(0.33, CommPattern::HotSpot, 2, 0.05, 0.30, 0.20,
+                  32, 1, 210),
+            phase(0.33, CommPattern::HotSpot, 3, 0.05, 0.30, 0.20,
+                  32, 1, 210),
+        };
+    } else if (abbr == "km") {
+        // K-means: centroids live with the host, points local.
+        p.suite = "Hetero-Mark";
+        p.rpki = RpkiClass::Medium;
+        p.opsPerGpu = 7000;
+        p.pagesPerPeer = 96;
+        p.phases = {
+            phase(0.7, CommPattern::CpuHeavy, 0, 0.60, 0.10, 0.30,
+                  8, 3, 170),
+            phase(0.3, CommPattern::CpuHeavy, 0, 0.65, 0.45, 0.30,
+                  8, 3, 180),
+        };
+    } else if (abbr == "floyd") {
+        // Floyd-Warshall: pivot-row broadcast phases, mostly local.
+        p.suite = "AMD APP SDK";
+        p.rpki = RpkiClass::Low;
+        p.opsPerGpu = 3000;
+        p.pagesPerPeer = 48;
+        p.phases = {
+            phase(0.5, CommPattern::HotSpot, 0, 0.05, 0.20, 0.55,
+                  8, 3, 600),
+            phase(0.5, CommPattern::HotSpot, 2, 0.05, 0.20, 0.55,
+                  8, 3, 600),
+        };
+    } else if (abbr == "aes") {
+        // Hetero-Mark AES: blocks stream in from the host and
+        // results stream back — almost all traffic is page
+        // migration, whose 64-block trains stress the OTP pipelines
+        // despite the low RPKI.
+        p.suite = "Hetero-Mark";
+        p.rpki = RpkiClass::Low;
+        p.opsPerGpu = 4000;
+        p.pagesPerPeer = 64;
+        p.phases = {
+            phase(0.6, CommPattern::CpuHeavy, 0, 0.85, 0.10, 0.90,
+                  8, 2, 350),
+            phase(0.4, CommPattern::CpuHeavy, 0, 0.85, 0.50, 0.90,
+                  8, 2, 350),
+        };
+    } else if (abbr == "fir") {
+        // FIR filter: small streaming working set via the host.
+        p.suite = "Hetero-Mark";
+        p.rpki = RpkiClass::Low;
+        p.opsPerGpu = 2500;
+        p.pagesPerPeer = 32;
+        p.phases = {
+            phase(1.0, CommPattern::CpuHeavy, 0, 0.70, 0.30, 0.30,
+                  4, 3, 900),
+        };
+    } else {
+        fatal("unknown workload '%s'", abbr.c_str());
+    }
+    return p;
+}
+
+} // anonymous namespace
+
+WorkloadProfile
+makeProfile(const std::string &abbr, double scale,
+            std::uint32_t num_gpus)
+{
+    WorkloadProfile p = build(abbr);
+    MGSEC_ASSERT(scale > 0.0, "bad workload scale %f", scale);
+    MGSEC_ASSERT(num_gpus >= 1, "bad GPU count");
+    p.opsPerGpu = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(p.opsPerGpu) *
+                             scale)));
+    if (num_gpus != 4) {
+        // Strong scaling: the same problem cut into more partitions
+        // has more boundary per unit of compute, so communication
+        // density rises with the partition count.
+        const double g = std::pow(4.0 / static_cast<double>(num_gpus),
+                                  0.7);
+        for (auto &ph : p.phases) {
+            ph.interGap = std::max<Cycles>(
+                1, static_cast<Cycles>(std::llround(
+                       static_cast<double>(ph.interGap) * g)));
+        }
+    }
+    double total = 0.0;
+    for (const auto &ph : p.phases)
+        total += ph.fraction;
+    MGSEC_ASSERT(std::abs(total - 1.0) < 1e-6,
+                 "phase fractions of %s sum to %f", abbr.c_str(),
+                 total);
+    return p;
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        // High RPKI
+        "mt", "relu", "pr", "syr2k", "spmv",
+        // Medium RPKI
+        "sc", "mm", "atax", "bicg", "ges", "mvt", "st", "fft", "km",
+        // Low RPKI
+        "floyd", "aes", "fir",
+    };
+    return names;
+}
+
+std::vector<std::string>
+workloadNames(RpkiClass c)
+{
+    std::vector<std::string> out;
+    for (const auto &n : workloadNames())
+        if (build(n).rpki == c)
+            out.push_back(n);
+    return out;
+}
+
+} // namespace mgsec

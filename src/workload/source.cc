@@ -1,0 +1,202 @@
+#include "workload/source.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+std::vector<double>
+destWeights(const PhaseSpec &phase, NodeId self,
+            std::uint32_t num_nodes)
+{
+    MGSEC_ASSERT(self >= 1 && self < num_nodes,
+                 "destination mixes are for GPUs");
+    const std::uint32_t num_gpus = num_nodes - 1;
+    std::vector<double> w(num_nodes, 0.0);
+
+    const double cpu = std::clamp(phase.cpuShare, 0.0, 0.95);
+    w[0] = cpu;
+    const double gpu_share = 1.0 - cpu;
+
+    if (num_gpus == 1) {
+        // Nobody else to talk to: everything goes to the host.
+        w[0] = 1.0;
+        return w;
+    }
+
+    const std::uint32_t peers = num_gpus - 1; // GPUs other than self
+    const std::uint32_t self_idx = self - 1;
+    auto gpu_node = [num_gpus](std::uint32_t idx) {
+        return static_cast<NodeId>((idx % num_gpus) + 1);
+    };
+
+    switch (phase.pattern) {
+      case CommPattern::Uniform:
+      case CommPattern::CpuHeavy: {
+        for (std::uint32_t g = 1; g <= num_gpus; ++g)
+            if (g != self)
+                w[g] = gpu_share / peers;
+        break;
+      }
+      case CommPattern::Ring: {
+        const NodeId left = gpu_node(self_idx + num_gpus - 1);
+        const NodeId right = gpu_node(self_idx + 1);
+        if (left == right) {
+            w[left] = gpu_share;
+            break;
+        }
+        double rest = gpu_share;
+        w[left] += gpu_share * 0.4;
+        w[right] += gpu_share * 0.4;
+        rest -= gpu_share * 0.8;
+        if (peers > 2) {
+            for (std::uint32_t g = 1; g <= num_gpus; ++g)
+                if (g != self && g != left && g != right)
+                    w[g] += rest / (peers - 2);
+        } else {
+            w[left] += rest / 2;
+            w[right] += rest / 2;
+        }
+        break;
+      }
+      case CommPattern::Partner: {
+        std::uint32_t buddy_idx = self_idx ^ 1u;
+        if (buddy_idx >= num_gpus)
+            buddy_idx = (self_idx + 1) % num_gpus;
+        const NodeId buddy = gpu_node(buddy_idx);
+        w[buddy] += gpu_share * 0.85;
+        if (peers > 1) {
+            for (std::uint32_t g = 1; g <= num_gpus; ++g)
+                if (g != self && g != buddy)
+                    w[g] += gpu_share * 0.15 / (peers - 1);
+        } else {
+            w[buddy] = gpu_share;
+        }
+        break;
+      }
+      case CommPattern::HotSpot: {
+        NodeId hot = gpu_node(self_idx + 1 + phase.hotOffset);
+        if (hot == self)
+            hot = gpu_node(self_idx + 2 + phase.hotOffset);
+        w[hot] += gpu_share * 0.75;
+        if (peers > 1) {
+            for (std::uint32_t g = 1; g <= num_gpus; ++g)
+                if (g != self && g != hot)
+                    w[g] += gpu_share * 0.25 / (peers - 1);
+        } else {
+            w[hot] = gpu_share;
+        }
+        break;
+      }
+    }
+
+    // Normalize defensively (cpu clamp can leave tiny drift).
+    double total = 0.0;
+    for (double v : w)
+        total += v;
+    MGSEC_ASSERT(total > 0.0, "empty destination mix");
+    for (double &v : w)
+        v /= total;
+    return w;
+}
+
+TraceSource::TraceSource(const WorkloadProfile &profile, NodeId self,
+                         std::uint32_t num_nodes, std::uint64_t seed)
+    : profile_(profile), self_(self), num_nodes_(num_nodes),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (self + 1)))
+{
+    MGSEC_ASSERT(!profile_.phases.empty(), "profile without phases");
+    total_ops_ = profile_.opsPerGpu;
+    phase_idx_ = static_cast<std::size_t>(-1);
+    phase_remaining_ = 0;
+}
+
+void
+TraceSource::startPhaseIfNeeded()
+{
+    if (phase_remaining_ > 0)
+        return;
+    ++phase_idx_;
+    if (phase_idx_ >= profile_.phases.size())
+        phase_idx_ = profile_.phases.size() - 1; // absorb rounding
+    const PhaseSpec &ph = profile_.phases[phase_idx_];
+    const bool last = phase_idx_ == profile_.phases.size() - 1;
+    if (last) {
+        phase_remaining_ = total_ops_ - generated_;
+    } else {
+        phase_remaining_ = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(
+                   ph.fraction * static_cast<double>(total_ops_))));
+        phase_remaining_ =
+            std::min(phase_remaining_, total_ops_ - generated_);
+    }
+    weights_ = destWeights(ph, self_, num_nodes_);
+    burst_remaining_ = 0;
+}
+
+void
+TraceSource::startBurst()
+{
+    const PhaseSpec &ph = profile_.phases[phase_idx_];
+    burst_dst_ = static_cast<NodeId>(rng_.weighted(weights_));
+    MGSEC_ASSERT(burst_dst_ != self_, "burst aimed at self");
+
+    // Burst length scales with how dominant the destination is:
+    // tiled/streaming transfers hammer the hot peer in long trains,
+    // while traffic to minor destinations is scattered accesses.
+    // Under a uniform mix every destination gets full-size bursts.
+    double wmax = 0.0;
+    for (double v : weights_)
+        wmax = std::max(wmax, v);
+    const double shape = wmax > 0.0 ? weights_[burst_dst_] / wmax : 1.0;
+    const double mean = std::max(1.0, ph.meanBurst * shape);
+    burst_remaining_ = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(rng_.gap(mean), 1, 256));
+    burst_migratable_ = rng_.chance(ph.migratableFrac);
+
+    // Pick the page this burst walks. Migratable pages live in a
+    // per-requester pool inside the destination's region (they will
+    // migrate to us); direct-access pages come from the shared pool.
+    const std::uint64_t pool = profile_.pagesPerPeer;
+    std::uint64_t page_idx = rng_.range(0, pool - 1);
+    std::uint64_t base = regionBase(burst_dst_);
+    if (burst_migratable_) {
+        base += (1ULL << 30); // migratable sub-region
+        page_idx += static_cast<std::uint64_t>(self_) * pool;
+    }
+    burst_page_ = base / kPageBytes + page_idx;
+    burst_block_ = static_cast<std::uint32_t>(
+        rng_.range(0, kBlocksPerPage - 1));
+    first_of_burst_ = true;
+}
+
+bool
+TraceSource::next(RemoteOp &op)
+{
+    if (generated_ >= total_ops_)
+        return false;
+    startPhaseIfNeeded();
+    if (burst_remaining_ == 0)
+        startBurst();
+
+    const PhaseSpec &ph = profile_.phases[phase_idx_];
+    op.dst = burst_dst_;
+    op.migratable = burst_migratable_;
+    op.write = rng_.chance(ph.writeFrac);
+    op.addr = burst_page_ * kPageBytes +
+              static_cast<std::uint64_t>(burst_block_) * kBlockBytes;
+    burst_block_ = (burst_block_ + 1) % kBlocksPerPage;
+    op.gap = first_of_burst_ ? rng_.gap(static_cast<double>(ph.interGap))
+                             : ph.intraGap;
+    first_of_burst_ = false;
+
+    --burst_remaining_;
+    --phase_remaining_;
+    ++generated_;
+    return true;
+}
+
+} // namespace mgsec

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-GPU remote-traffic generator.
+ *
+ * Turns a WorkloadProfile into a deterministic stream of remote
+ * operations: bursts of block accesses aimed at one destination,
+ * with phase-dependent destination mixes and a page-migration-
+ * eligible subset. Each burst walks consecutive blocks of one page,
+ * which is what lets the access-counter migration policy fire.
+ */
+
+#ifndef MGSEC_WORKLOAD_SOURCE_HH
+#define MGSEC_WORKLOAD_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "workload/op_source.hh"
+#include "workload/profile.hh"
+
+namespace mgsec
+{
+
+/** One remote access the GPU wants to perform. */
+struct RemoteOp
+{
+    Cycles gap = 0;       ///< issue gap after the previous op
+    NodeId dst = InvalidNode; ///< region owner (home may migrate)
+    bool write = false;
+    std::uint64_t addr = 0;
+    bool migratable = false;
+};
+
+/** Unified-address-space layout: one 1 TB region per node. */
+constexpr std::uint64_t kRegionShift = 40;
+
+inline std::uint64_t
+regionBase(NodeId node)
+{
+    return static_cast<std::uint64_t>(node) << kRegionShift;
+}
+
+inline NodeId
+regionOwner(std::uint64_t addr)
+{
+    return static_cast<NodeId>(addr >> kRegionShift);
+}
+
+/**
+ * Destination mix for @p self in a system of @p num_nodes
+ * (index 0 = CPU). Weights are normalized; weights[self] == 0.
+ */
+std::vector<double> destWeights(const PhaseSpec &phase, NodeId self,
+                                std::uint32_t num_nodes);
+
+class TraceSource : public OpSource
+{
+  public:
+    TraceSource(const WorkloadProfile &profile, NodeId self,
+                std::uint32_t num_nodes, std::uint64_t seed);
+
+    /** @retval false the workload is exhausted. */
+    bool next(RemoteOp &op) override;
+
+    std::uint64_t totalOps() const override { return total_ops_; }
+    std::uint64_t generated() const override { return generated_; }
+
+  private:
+    void startPhaseIfNeeded();
+    void startBurst();
+
+    const WorkloadProfile profile_;
+    NodeId self_;
+    std::uint32_t num_nodes_;
+    Rng rng_;
+
+    std::uint64_t total_ops_ = 0;
+    std::uint64_t generated_ = 0;
+
+    /** Phase bookkeeping. */
+    std::size_t phase_idx_ = 0;
+    std::uint64_t phase_remaining_ = 0;
+    std::vector<double> weights_;
+
+    /** Burst bookkeeping. */
+    std::uint32_t burst_remaining_ = 0;
+    NodeId burst_dst_ = InvalidNode;
+    std::uint64_t burst_page_ = 0;
+    std::uint32_t burst_block_ = 0;
+    bool burst_migratable_ = false;
+    bool first_of_burst_ = true;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_WORKLOAD_SOURCE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * Format: one text line per operation —
+ *   gap dst write addr migratable
+ * preceded by a header line "mgsec-trace v1 <ops>". Text keeps the
+ * traces greppable and diffable; they compress well if needed.
+ */
+
+#ifndef MGSEC_WORKLOAD_TRACE_IO_HH
+#define MGSEC_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/op_source.hh"
+#include "workload/source.hh"
+
+namespace mgsec
+{
+
+/** Write every op of @p src to @p os. Returns ops written. */
+std::uint64_t writeTrace(std::ostream &os, OpSource &src);
+
+/** Convenience: record a synthetic workload's stream to a file. */
+std::uint64_t recordTrace(const std::string &path,
+                          const WorkloadProfile &profile, NodeId gpu,
+                          std::uint32_t num_nodes,
+                          std::uint64_t seed);
+
+/** Replays a recorded trace. */
+class TraceFileSource : public OpSource
+{
+  public:
+    /** Parse from a stream (fatal() on malformed input). */
+    explicit TraceFileSource(std::istream &is);
+    /** Parse from a file (fatal() when unreadable). */
+    explicit TraceFileSource(const std::string &path);
+
+    bool next(RemoteOp &op) override;
+    std::uint64_t totalOps() const override { return ops_.size(); }
+    std::uint64_t generated() const override { return pos_; }
+
+  private:
+    void parse(std::istream &is);
+
+    std::vector<RemoteOp> ops_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_WORKLOAD_TRACE_IO_HH

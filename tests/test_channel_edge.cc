@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Secure-channel edge cases: ACK timer management, piggyback caps,
+ * multi-peer interleaving, batch timeout interactions, and the
+ * +SecureCommu accounting mode under batching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "secure/secure_channel.hh"
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+struct Rig4
+{
+    EventQueue eq;
+    Network net;
+    std::vector<std::unique_ptr<SecureChannel>> ch;
+    std::vector<std::vector<Packet>> delivered;
+
+    explicit Rig4(const SecurityConfig &cfg)
+        : net("net", eq, 4, LinkParams{12.0, 50},
+              LinkParams{18.0, 10}),
+          delivered(4)
+    {
+        for (NodeId n = 0; n < 4; ++n) {
+            ch.push_back(std::make_unique<SecureChannel>(
+                strformat("ch%u", n), eq, net, n, cfg));
+            ch.back()->setDeliver([this, n](PacketPtr p) {
+                delivered[n].push_back(*p);
+            });
+        }
+    }
+
+    void
+    send(NodeId src, NodeId dst, PacketType type)
+    {
+        auto p = std::make_unique<Packet>();
+        p->type = type;
+        p->src = src;
+        p->dst = dst;
+        p->payloadBytes = (type == PacketType::ReadResp ||
+                           type == PacketType::WriteReq)
+                              ? kBlockBytes
+                              : 0;
+        ch[src]->send(std::move(p));
+    }
+};
+
+SecurityConfig
+cfgWith(bool batching, std::uint32_t max_piggyback = 2)
+{
+    SecurityConfig cfg;
+    cfg.scheme = OtpScheme::Private;
+    cfg.batching = batching;
+    cfg.batchSize = 4;
+    cfg.maxPiggybackAcks = max_piggyback;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(ChannelEdge, PiggybackCapIsRespected)
+{
+    Rig4 rig(cfgWith(false, 2));
+    // Node 2 receives 5 responses -> owes 5 ACK records.
+    for (int i = 0; i < 5; ++i)
+        rig.send(1, 2, PacketType::ReadResp);
+    rig.eq.run(200); // before node 2's ack timer fires
+    // Node 2 now sends one data packet back: at most 2 ACKs ride it.
+    rig.send(2, 1, PacketType::ReadReq);
+    rig.eq.run(260);
+    bool found = false;
+    for (const Packet &p : rig.delivered[1]) {
+        if (p.type == PacketType::ReadReq) {
+            EXPECT_LE(p.acks.size(), 2u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    rig.eq.run();
+    // Whatever did not fit went standalone eventually.
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+}
+
+TEST(ChannelEdge, CumulativeAckClearsBacklogInOneRecord)
+{
+    Rig4 rig(cfgWith(false));
+    for (int i = 0; i < 8; ++i)
+        rig.send(1, 2, PacketType::ReadResp);
+    rig.eq.run();
+    // All eight responses were acknowledged (cumulatively).
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstanding(2), 0u);
+}
+
+TEST(ChannelEdge, InterleavedPeersKeepIndependentCounters)
+{
+    Rig4 rig(cfgWith(false));
+    for (int i = 0; i < 6; ++i) {
+        rig.send(1, 2, PacketType::ReadReq);
+        rig.send(1, 3, PacketType::ReadReq);
+        rig.send(2, 3, PacketType::ReadReq);
+    }
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 6u);
+    ASSERT_EQ(rig.delivered[3].size(), 12u);
+    // Per (src, dst) the counters are 0..5 in order.
+    std::uint64_t expect12 = 0;
+    for (const Packet &p : rig.delivered[2])
+        EXPECT_EQ(p.msgCtr, expect12++);
+    std::uint64_t expect13 = 0, expect23 = 0;
+    for (const Packet &p : rig.delivered[3]) {
+        if (p.src == 1)
+            EXPECT_EQ(p.msgCtr, expect13++);
+        else
+            EXPECT_EQ(p.msgCtr, expect23++);
+    }
+}
+
+TEST(ChannelEdge, BatchesToDifferentPeersProgressIndependently)
+{
+    Rig4 rig(cfgWith(true));
+    // Alternate destinations: each peer's batch fills separately.
+    for (int i = 0; i < 4; ++i) {
+        rig.send(1, 2, PacketType::ReadResp);
+        rig.send(1, 3, PacketType::ReadResp);
+    }
+    rig.eq.run();
+    auto closed = [&](NodeId dst) {
+        int last = 0;
+        for (const Packet &p : rig.delivered[dst])
+            last += p.batchLast ? 1 : 0;
+        return last;
+    };
+    EXPECT_EQ(closed(2), 1);
+    EXPECT_EQ(closed(3), 1);
+}
+
+TEST(ChannelEdge, SecureCommuModeStillRunsTheFullProtocol)
+{
+    SecurityConfig cfg = cfgWith(true);
+    cfg.countMetadataBytes = false; // Fig. 11 +SecureCommu
+    Rig4 rig(cfg);
+    for (int i = 0; i < 4; ++i)
+        rig.send(1, 2, PacketType::ReadResp);
+    rig.eq.run();
+    // No metadata bytes on the wire...
+    EXPECT_EQ(rig.net.classBytes(TrafficClass::SecMeta), 0u);
+    EXPECT_EQ(rig.net.classBytes(TrafficClass::SecAck), 0u);
+    // ...but pads were claimed and the batch protocol completed.
+    EXPECT_EQ(rig.ch[1]->padTable()->otpStats().total(Direction::Send),
+              4u);
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+}
+
+TEST(ChannelEdge, AckTimerCancelledWhenPiggybackDrainsQueue)
+{
+    Rig4 rig(cfgWith(false, 8));
+    rig.send(1, 2, PacketType::ReadResp);
+    rig.eq.run(80); // response delivered, ack queued at node 2
+    rig.send(2, 1, PacketType::ReadReq); // carries the ack
+    rig.eq.run();
+    // No standalone ack was needed.
+    EXPECT_EQ(rig.ch[2]->standaloneAcks(), 0u);
+}
+
+TEST(ChannelEdge, WriteRespCompletesWriteTransactions)
+{
+    Rig4 rig(cfgWith(false));
+    rig.send(1, 2, PacketType::WriteReq);
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 1u);
+    EXPECT_EQ(rig.delivered[2][0].type, PacketType::WriteReq);
+    EXPECT_EQ(rig.delivered[2][0].payloadBytes, kBlockBytes);
+}
+
+TEST(ChannelEdge, ManyMessagesManyPeersDrainCompletely)
+{
+    Rig4 rig(cfgWith(true));
+    for (int i = 0; i < 100; ++i) {
+        rig.send(1, static_cast<NodeId>(2 + i % 2),
+                 PacketType::ReadResp);
+        rig.send(2, 1, PacketType::ReadReq);
+    }
+    rig.eq.run(10'000);
+    rig.ch[1]->drainBatches();
+    rig.ch[2]->drainBatches();
+    rig.eq.run();
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+    EXPECT_EQ(rig.ch[2]->replayWindow().outstandingTotal(), 0u);
+    EXPECT_EQ(rig.delivered[1].size(), 100u);
+    EXPECT_EQ(rig.delivered[2].size(), 50u);
+    EXPECT_EQ(rig.delivered[3].size(), 50u);
+}

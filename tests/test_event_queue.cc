@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunOneAdvancesTime)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(42, [&]() { ran = true; });
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 42u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleIn(5, [&]() { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanScheduleAtCurrentTick)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(7, [&]() {
+        eq.schedule(7, [&]() { ++count; });
+    });
+    eq.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&]() { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, []() {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(EventId{}));
+    EXPECT_FALSE(eq.cancel(EventId{999}));
+}
+
+TEST(EventQueue, CancelAfterExecutionFails)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(1, []() {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunUntilBound)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.schedule(t, [&]() { ++count; });
+    const std::uint64_t n = eq.run(50);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunMaxEventsBound)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(static_cast<Tick>(i + 1), [&]() { ++count; });
+    eq.run(MaxTick, 3);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, PendingTracksCancellations)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, []() {});
+    eq.schedule(6, []() {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, ExecutedCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i + 1), []() {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, CascadedEventsDrain)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId a = eq.schedule(10, []() {});
+    eq.schedule(20, [&]() { ran = true; });
+    eq.cancel(a);
+    eq.run(15);
+    EXPECT_FALSE(ran);
+    eq.run(25);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(10, []() {}), "past");
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * JSON writer and result-serialization tests (validated with a
+ * small structural parser to keep the format honest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/json_out.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+/** Minimal structural validation: balanced braces, quotes ok. */
+bool
+structurallyValid(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+} // anonymous namespace
+
+TEST(JsonWriter, SimpleObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("a", std::uint64_t{1});
+    w.field("b", std::string("x"));
+    w.field("c", true);
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("inner").beginObject();
+    w.field("x", 1.5);
+    w.endObject();
+    w.beginArray("list");
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"inner\":{\"x\":1.5},\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("s", std::string("a\"b\\c\nd"));
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.beginArray("empty");
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"empty\":[]}");
+}
+
+TEST(ResultJson, ContainsDocumentedKeys)
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Dynamic;
+    e.batching = true;
+    e.scale = 0.03;
+    const RunResult r = runWorkload("mm", e);
+    const std::string js = resultToJson(r);
+    EXPECT_TRUE(structurallyValid(js)) << js;
+    for (const char *k :
+         {"\"workload\"", "\"completed\"", "\"cycles\"",
+          "\"traffic\"", "\"secMeta\"", "\"otp\"", "\"send\"",
+          "\"recv\"", "\"hit\"", "\"migrations\"",
+          "\"remoteOps\""}) {
+        EXPECT_NE(js.find(k), std::string::npos) << k;
+    }
+    EXPECT_NE(js.find("\"workload\":\"mm\""), std::string::npos);
+    EXPECT_NE(js.find("\"completed\":true"), std::string::npos);
+}
+
+TEST(ResultJson, UnsecureRunHasZeroOtpTotals)
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Unsecure;
+    e.scale = 0.03;
+    const RunResult r = runWorkload("fir", e);
+    const std::string js = resultToJson(r);
+    EXPECT_TRUE(structurallyValid(js));
+    EXPECT_NE(js.find("\"total\":0"), std::string::npos);
+}

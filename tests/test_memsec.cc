@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Host memory-protection engine tests (counters + integrity tree).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "memsec/mem_protect.hh"
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+MemProtectParams
+smallParams()
+{
+    MemProtectParams p;
+    p.enabled = true;
+    p.counterCacheEntries = 4;
+    p.treeCacheEntries = 2;
+    p.treeArity = 8;
+    p.protectedBytes = 16ull * 1024 * 1024; // 16 MB => small tree
+    p.macLatency = 40;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(MemProtect, TreeDepthMatchesRegionSize)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    // 16 MB / 4 KB = 4096 counter blocks; arity 8 => 8^4 = 4096:
+    // 4 levels above the counter blocks.
+    MemProtectEngine e("mp", eq, smallParams(), dram);
+    EXPECT_EQ(e.treeLevels(), 4u);
+}
+
+TEST(MemProtect, DisabledIsFree)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    MemProtectParams p = smallParams();
+    p.enabled = false;
+    MemProtectEngine e("mp", eq, p, dram);
+    EXPECT_EQ(e.access(0x1000, false, 500), 500u);
+    EXPECT_EQ(e.metadataFetches(), 0u);
+}
+
+TEST(MemProtect, FirstAccessWalksTreeLaterAccessesHitCounterCache)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    MemProtectEngine e("mp", eq, smallParams(), dram);
+    const Tick first = e.access(0x0, false, 100);
+    EXPECT_GT(first, 100u); // metadata fetch + MAC dominate
+    EXPECT_EQ(e.counterMisses(), 1u);
+    EXPECT_GT(e.metadataFetches(), 0u);
+
+    // Same 4 KB region: counter is on chip, only the XOR remains.
+    const Tick second = e.access(0x40, false, 10000);
+    EXPECT_EQ(second, 10001u);
+    EXPECT_EQ(e.counterHits(), 1u);
+}
+
+TEST(MemProtect, CounterCacheEvictionCausesRefetch)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    MemProtectEngine e("mp", eq, smallParams(), dram); // 4 entries
+    for (std::uint64_t r = 0; r < 5; ++r)
+        e.access(r * 4096, false, 0);
+    EXPECT_EQ(e.counterMisses(), 5u);
+    // Region 0 was evicted by region 4.
+    e.access(0, false, 0);
+    EXPECT_EQ(e.counterMisses(), 6u);
+}
+
+TEST(MemProtect, CachedTreeLevelsShortenTheWalk)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    MemProtectEngine e("mp", eq, smallParams(), dram);
+    e.access(0x0, false, 0);
+    const std::uint64_t first_walk = e.metadataFetches();
+    // A sibling region shares every ancestor: only the counter
+    // block itself (and maybe level 0) must be fetched.
+    e.access(0x1000, false, 0);
+    const std::uint64_t second_walk =
+        e.metadataFetches() - first_walk;
+    EXPECT_LT(second_walk, first_walk);
+}
+
+TEST(MemProtect, WritesArePayingToo)
+{
+    EventQueue eq;
+    Hbm dram("d", eq, HbmParams{64.0, 50});
+    MemProtectEngine e("mp", eq, smallParams(), dram);
+    const Tick t = e.access(0x2000, true, 100);
+    EXPECT_GT(t, 100u);
+}
+
+TEST(MemProtect, CpuNodeUsesItInSecureRuns)
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Private;
+    e.scale = 0.05;
+    SystemConfig sc = makeSystemConfig(e);
+    EXPECT_TRUE(sc.cpu.memProtect.enabled);
+    EXPECT_FALSE(sc.gpu.memProtect.enabled); // HBM is trusted
+    MultiGpuSystem sys(sc, makeProfile("relu", e.scale));
+    const RunResult r = sys.run();
+    EXPECT_TRUE(r.completed);
+    ASSERT_NE(sys.node(0).memProtect(), nullptr);
+    EXPECT_EQ(sys.node(1).memProtect(), nullptr);
+    EXPECT_GT(sys.node(0).memProtect()->counterMisses() +
+                  sys.node(0).memProtect()->counterHits(),
+              0u);
+}
+
+TEST(MemProtect, UnsecureBaselineHasNoHostProtection)
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Unsecure;
+    const SystemConfig sc = makeSystemConfig(e);
+    EXPECT_FALSE(sc.cpu.memProtect.enabled);
+}

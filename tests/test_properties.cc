@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cross-cutting property and stress tests: randomized invariant
+ * checks over the event kernel, the network, and the pad tables,
+ * plus end-to-end conservation laws of whole-system runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "net/network.hh"
+#include "secure/pad_table.hh"
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+
+// ------------------------------------------------------ event queue stress
+
+class EventQueueStress : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(EventQueueStress, RandomScheduleCancelNeverReorders)
+{
+    std::mt19937_64 rng(GetParam());
+    EventQueue eq;
+    Tick last_seen = 0;
+    std::uint64_t executed = 0;
+    std::vector<EventId> live;
+
+    for (int round = 0; round < 50; ++round) {
+        // Schedule a batch at random future ticks.
+        for (int i = 0; i < 40; ++i) {
+            const Tick when = eq.now() + 1 + rng() % 500;
+            live.push_back(eq.schedule(when, [&, when]() {
+                EXPECT_GE(when, last_seen);
+                last_seen = when;
+                ++executed;
+            }));
+        }
+        // Cancel a random third of what we remember.
+        std::shuffle(live.begin(), live.end(), rng);
+        const std::size_t cut = live.size() / 3;
+        for (std::size_t i = 0; i < cut; ++i)
+            eq.cancel(live[i]);
+        live.erase(live.begin(),
+                   live.begin() + static_cast<std::ptrdiff_t>(cut));
+        // Run a random slice of time.
+        eq.run(eq.now() + rng() % 300);
+    }
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_GT(executed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStress,
+                         ::testing::Values(1u, 7u, 42u));
+
+// ----------------------------------------------------------- network laws
+
+class NetworkConservation
+    : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(NetworkConservation, EverySentPacketArrivesExactlyOnce)
+{
+    std::mt19937_64 rng(GetParam());
+    EventQueue eq;
+    Network net("net", eq, 5, LinkParams{12.0, 500},
+                LinkParams{18.0, 100});
+    std::uint64_t delivered = 0;
+    Bytes delivered_bytes = 0;
+    for (NodeId n = 0; n < 5; ++n) {
+        net.setHandler(n, [&](PacketPtr p) {
+            ++delivered;
+            delivered_bytes += p->wireBytes();
+        });
+    }
+    const int kPackets = 500;
+    Bytes sent_bytes = 0;
+    for (int i = 0; i < kPackets; ++i) {
+        auto p = std::make_unique<Packet>();
+        p->src = static_cast<NodeId>(rng() % 5);
+        do {
+            p->dst = static_cast<NodeId>(rng() % 5);
+        } while (p->dst == p->src);
+        p->headerBytes = 8 + rng() % 100;
+        p->payloadBytes = (rng() % 2) ? kBlockBytes : 0;
+        sent_bytes += p->wireBytes();
+        // Interleave with time advancement.
+        if (rng() % 4 == 0)
+            eq.run(eq.now() + rng() % 50);
+        net.send(std::move(p));
+    }
+    eq.run();
+    EXPECT_EQ(delivered, static_cast<std::uint64_t>(kPackets));
+    EXPECT_EQ(delivered_bytes, sent_bytes);
+    EXPECT_EQ(net.totalBytes(), sent_bytes);
+    EXPECT_EQ(net.totalPackets(),
+              static_cast<std::uint64_t>(kPackets));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkConservation,
+                         ::testing::Values(3u, 11u, 99u));
+
+// -------------------------------------------------------- pad table fuzzer
+
+class PadTableFuzz
+    : public ::testing::TestWithParam<std::pair<OtpScheme, std::uint32_t>>
+{};
+
+TEST_P(PadTableFuzz, RandomTrafficKeepsInvariants)
+{
+    const auto [scheme, seed] = GetParam();
+    std::mt19937_64 rng(seed);
+    EventQueue eq;
+    auto table = makePadTable(scheme, "t", eq, 1, 5, 32, 40);
+
+    // Mirror counters: what a well-behaved remote sender would use.
+    std::vector<std::uint64_t> peer_send_ctr(5, 0);
+
+    std::uint64_t acquires = 0;
+    for (int i = 0; i < 3000; ++i) {
+        eq.schedule(eq.now() + rng() % 20, []() {});
+        eq.run(eq.now() + rng() % 20);
+        NodeId peer = static_cast<NodeId>(rng() % 5);
+        if (peer == 1)
+            peer = 0;
+        if (rng() % 2 == 0) {
+            const SendGrant g = table->acquireSend(peer);
+            EXPECT_GE(std::max(eq.now(), g.padReady), eq.now());
+            ++acquires;
+        } else {
+            // In-order arrival stream per peer (FIFO links).
+            const RecvGrant g =
+                table->acquireRecv(peer, peer_send_ctr[peer]++);
+            EXPECT_GE(std::max(eq.now(), g.padReady), eq.now());
+            ++acquires;
+        }
+    }
+    const OtpStats &s = table->otpStats();
+    EXPECT_EQ(s.total(Direction::Send) + s.total(Direction::Recv),
+              acquires);
+    // Fractions are a partition of 1 in each direction.
+    for (Direction d : {Direction::Send, Direction::Recv}) {
+        const double sum = s.frac(d, OtpOutcome::Hit) +
+                           s.frac(d, OtpOutcome::Partial) +
+                           s.frac(d, OtpOutcome::Miss);
+        if (s.total(d) > 0)
+            EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PadTableFuzz,
+    ::testing::Values(std::make_pair(OtpScheme::Private, 1u),
+                      std::make_pair(OtpScheme::Shared, 1u),
+                      std::make_pair(OtpScheme::Cached, 1u),
+                      std::make_pair(OtpScheme::Dynamic, 1u),
+                      std::make_pair(OtpScheme::Private, 2u),
+                      std::make_pair(OtpScheme::Cached, 2u)));
+
+// ------------------------------------------------------- system-level laws
+
+class SystemLaws : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SystemLaws, RunConservation)
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Dynamic;
+    e.batching = true;
+    e.scale = 0.04;
+    SystemConfig sc = makeSystemConfig(e);
+    MultiGpuSystem sys(sc, makeProfile(GetParam(), e.scale));
+    const RunResult r = sys.run();
+    ASSERT_TRUE(r.completed);
+
+    // Every GPU drained its workload exactly.
+    std::uint64_t issued = 0;
+    for (NodeId g = 1; g < sys.numNodes(); ++g)
+        issued += sys.node(g).remoteOps() + sys.node(g).localOps();
+    const WorkloadProfile p = makeProfile(GetParam(), e.scale);
+    EXPECT_EQ(issued, p.opsPerGpu * 4);
+
+    // Send and receive pad claims balance system-wide.
+    EXPECT_EQ(r.otp.total(Direction::Send),
+              r.otp.total(Direction::Recv));
+
+    // Traffic class sums match the network total.
+    EXPECT_EQ(r.classBytes[0] + r.classBytes[1] + r.classBytes[2] +
+                  r.classBytes[3],
+              r.totalBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SystemLaws,
+                         ::testing::Values("mt", "mm", "atax", "km",
+                                           "aes"),
+                         [](const auto &info) { return info.param; });

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Report/table formatting tests, plus logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace mgsec;
+
+TEST(Table, PrintsHeaderSeparatorAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    std::ostringstream os;
+    t.print(os);
+    std::istringstream is(os.str());
+    std::string header, sep, row;
+    std::getline(is, header);
+    std::getline(is, sep);
+    std::getline(is, row);
+    // 'b' and 'x' start at the same column.
+    EXPECT_EQ(header.find('b'), row.find('x'));
+}
+
+TEST(TableDeath, RowWidthMustMatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 3), "2.000");
+}
+
+TEST(Format, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.1234), "12.3%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(Format, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512.00 B");
+    EXPECT_EQ(fmtBytes(2816), "2.75 KB");
+    EXPECT_EQ(fmtBytes(3.0 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(Logging, StrformatBehavesLikePrintf)
+{
+    EXPECT_EQ(strformat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strformat("%03u", 7u), "007");
+    EXPECT_EQ(strformat("plain"), "plain");
+}
+
+TEST(LoggingDeath, AssertMacroPanicsWithContext)
+{
+    EXPECT_DEATH(MGSEC_ASSERT(1 == 2, "value was %d", 3),
+                 "assertion");
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * SecureChannel integration tests: metadata bytes, ACK protocol,
+ * ordering, and the batching wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "secure/secure_channel.hh"
+#include "sim/event_queue.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+/** Three-node rig (CPU + 2 GPUs) with a channel per node. */
+struct Rig
+{
+    EventQueue eq;
+    Network net;
+    std::vector<std::unique_ptr<SecureChannel>> ch;
+    /** Packets delivered upward, per node. */
+    std::vector<std::vector<Packet>> delivered;
+
+    explicit Rig(const SecurityConfig &cfg)
+        : net("net", eq, 3, LinkParams{16.0, 50},
+              LinkParams{25.0, 10}),
+          delivered(3)
+    {
+        for (NodeId n = 0; n < 3; ++n) {
+            ch.push_back(std::make_unique<SecureChannel>(
+                strformat("ch%u", n), eq, net, n, cfg));
+            ch.back()->setDeliver([this, n](PacketPtr p) {
+                delivered[n].push_back(*p);
+            });
+        }
+    }
+
+    PacketPtr
+    dataPkt(NodeId src, NodeId dst, PacketType type)
+    {
+        auto p = std::make_unique<Packet>();
+        p->type = type;
+        p->src = src;
+        p->dst = dst;
+        p->payloadBytes =
+            (type == PacketType::ReadResp ||
+             type == PacketType::WriteReq)
+                ? kBlockBytes
+                : 0;
+        return p;
+    }
+};
+
+SecurityConfig
+baseCfg(OtpScheme scheme = OtpScheme::Private, bool batching = false)
+{
+    SecurityConfig cfg;
+    cfg.scheme = scheme;
+    cfg.batching = batching;
+    cfg.batchSize = 4;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(SecureChannel, UnsecurePassThroughHasNoMetadata)
+{
+    Rig rig(baseCfg(OtpScheme::Unsecure));
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 1u);
+    const Packet &p = rig.delivered[2][0];
+    EXPECT_FALSE(p.secured);
+    EXPECT_EQ(p.secMetaBytes, 0u);
+    EXPECT_EQ(rig.net.classBytes(TrafficClass::SecMeta), 0u);
+    EXPECT_EQ(rig.ch[1]->padTable(), nullptr);
+}
+
+TEST(SecureChannel, SecuredMessageCarriesCtrAndMac)
+{
+    Rig rig(baseCfg());
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 1u);
+    const Packet &p = rig.delivered[2][0];
+    EXPECT_TRUE(p.secured);
+    EXPECT_TRUE(p.hasMac);
+    EXPECT_EQ(p.secMetaBytes, 16u); // 8 B ctr+id, 8 B MsgMAC
+}
+
+TEST(SecureChannel, MetadataBytesCanBeDisabled)
+{
+    SecurityConfig cfg = baseCfg();
+    cfg.countMetadataBytes = false; // Fig. 11 "+SecureCommu" mode
+    Rig rig(cfg);
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.eq.run();
+    EXPECT_EQ(rig.net.classBytes(TrafficClass::SecMeta), 0u);
+    EXPECT_EQ(rig.net.classBytes(TrafficClass::SecAck), 0u);
+}
+
+TEST(SecureChannel, CountersArriveInOrder)
+{
+    Rig rig(baseCfg());
+    for (int i = 0; i < 20; ++i)
+        rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(rig.delivered[2][i].msgCtr, i);
+}
+
+TEST(SecureChannel, PadWaitDelaysDeparture)
+{
+    Rig rig(baseCfg());
+    // Cold table: the first message cannot leave before the 40-cycle
+    // pad generation plus the XOR cycle.
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 1u);
+    EXPECT_GE(rig.delivered[2][0].sendReady, 41u);
+}
+
+TEST(SecureChannel, ResponseDrawsStandaloneAckWhenIdle)
+{
+    Rig rig(baseCfg());
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.eq.run();
+    // Node 2 had no reverse traffic: it sent a dedicated SecAck.
+    EXPECT_EQ(rig.ch[2]->standaloneAcks(), 1u);
+    EXPECT_GT(rig.net.classBytes(TrafficClass::SecAck), 0u);
+    // The ACK cleared node 1's replay window.
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+}
+
+TEST(SecureChannel, RequestsAreImplicitlyAcked)
+{
+    Rig rig(baseCfg());
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+    EXPECT_EQ(rig.ch[2]->standaloneAcks(), 0u);
+}
+
+TEST(SecureChannel, AcksPiggybackOnReverseTraffic)
+{
+    Rig rig(baseCfg());
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    // Give the response time to arrive, then node 2 sends something
+    // back before its ACK timer fires.
+    rig.eq.schedule(60, [&]() {
+        rig.ch[2]->send(rig.dataPkt(2, 1, PacketType::ReadReq));
+    });
+    rig.eq.run();
+    EXPECT_EQ(rig.ch[2]->standaloneAcks(), 0u);
+    EXPECT_GT(rig.net.classBytes(TrafficClass::SecAck), 0u);
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+}
+
+TEST(SecureChannel, BatchWireFormat)
+{
+    Rig rig(baseCfg(OtpScheme::Private, true));
+    for (int i = 0; i < 4; ++i)
+        rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 4u);
+    const auto &d = rig.delivered[2];
+    EXPECT_EQ(d[0].batchLen, 4u);   // first declares the length
+    EXPECT_FALSE(d[0].hasMac);
+    EXPECT_FALSE(d[1].hasMac);      // middles carry no MsgMAC
+    EXPECT_FALSE(d[2].hasMac);
+    EXPECT_TRUE(d[3].hasMac);       // the closer carries batched MAC
+    EXPECT_TRUE(d[3].batchLast);
+    for (const auto &p : d)
+        EXPECT_EQ(p.batchId, d[0].batchId);
+}
+
+TEST(SecureChannel, BatchDrawsSingleAck)
+{
+    Rig rig(baseCfg(OtpScheme::Private, true));
+    for (int i = 0; i < 4; ++i)
+        rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.eq.run();
+    // One cumulative ACK for the whole batch (standalone, since node
+    // 2 has no reverse traffic).
+    EXPECT_EQ(rig.ch[2]->standaloneAcks(), 1u);
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+}
+
+TEST(SecureChannel, BatchingReducesMetadataBytes)
+{
+    Rig unbatched(baseCfg(OtpScheme::Private, false));
+    Rig batched(baseCfg(OtpScheme::Private, true));
+    for (int i = 0; i < 8; ++i) {
+        unbatched.ch[1]->send(
+            unbatched.dataPkt(1, 2, PacketType::ReadResp));
+        batched.ch[1]->send(
+            batched.dataPkt(1, 2, PacketType::ReadResp));
+    }
+    unbatched.eq.run();
+    batched.eq.run();
+    EXPECT_LT(batched.net.classBytes(TrafficClass::SecMeta),
+              unbatched.net.classBytes(TrafficClass::SecMeta));
+    EXPECT_LT(batched.net.classBytes(TrafficClass::SecAck),
+              unbatched.net.classBytes(TrafficClass::SecAck));
+}
+
+TEST(SecureChannel, DrainFlushesShortBatchViaTrailer)
+{
+    Rig rig(baseCfg(OtpScheme::Private, true));
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.eq.run(30); // before the batch idle timeout
+    rig.ch[1]->drainBatches();
+    rig.eq.run();
+    // The receiver completed the batch from the standalone trailer
+    // and acked it.
+    EXPECT_EQ(rig.ch[1]->replayWindow().outstandingTotal(), 0u);
+    EXPECT_EQ(rig.ch[2]->macStorage()->completions(), 1u);
+}
+
+TEST(SecureChannel, FallbackFlagPropagatesToReceiver)
+{
+    // With a Cached scheme and a cold table, the first send is a
+    // pool miss, so the packet must carry the fallback marker.
+    Rig rig(baseCfg(OtpScheme::Cached));
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 1u);
+    EXPECT_TRUE(rig.delivered[2][0].padFallback);
+}
+
+TEST(SecureChannel, DeliveryOrderPerSourceIsFifo)
+{
+    Rig rig(baseCfg(OtpScheme::Shared));
+    for (int i = 0; i < 10; ++i)
+        rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    ASSERT_EQ(rig.delivered[2].size(), 10u);
+    for (std::size_t i = 1; i < 10; ++i)
+        EXPECT_GT(rig.delivered[2][i].msgCtr,
+                  rig.delivered[2][i - 1].msgCtr);
+}
+
+TEST(SecureChannel, OtpStatsExposedThroughPadTable)
+{
+    Rig rig(baseCfg());
+    for (int i = 0; i < 10; ++i)
+        rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    const PadTable *sender = rig.ch[1]->padTable();
+    const PadTable *receiver = rig.ch[2]->padTable();
+    ASSERT_NE(sender, nullptr);
+    EXPECT_EQ(sender->otpStats().total(Direction::Send), 10u);
+    EXPECT_EQ(receiver->otpStats().total(Direction::Recv), 10u);
+}
+
+TEST(SecureChannel, BlockObserverSeesDataResponses)
+{
+    Rig rig(baseCfg());
+    std::vector<std::pair<NodeId, Tick>> seen;
+    rig.ch[1]->setBlockObserver([&](NodeId dst, Tick t) {
+        seen.emplace_back(dst, t);
+    });
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadResp));
+    rig.ch[1]->send(rig.dataPkt(1, 2, PacketType::ReadReq));
+    rig.eq.run();
+    // Only the payload-bearing response is a "data block".
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].first, 2u);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace mgsec;
+using namespace mgsec::stats;
+
+TEST(ScalarStat, AccumulatesAndResets)
+{
+    Scalar s("s", "a scalar");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(ScalarStat, SetOverwrites)
+{
+    Scalar s("s", "d");
+    s += 10.0;
+    s.set(4.0);
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+}
+
+TEST(ScalarStat, DumpContainsNameAndDesc)
+{
+    Scalar s("myStat", "my description");
+    s += 7;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("myStat"), std::string::npos);
+    EXPECT_NE(os.str().find("my description"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(DistributionStat, BucketsLinearRange)
+{
+    Distribution d("d", "x", 0.0, 100.0, 10);
+    EXPECT_EQ(d.numBuckets(), 10u);
+    d.sample(5.0);   // bucket 0
+    d.sample(15.0);  // bucket 1
+    d.sample(95.0);  // bucket 9
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 1u);
+    EXPECT_EQ(d.bucket(9), 1u);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(DistributionStat, UnderAndOverflow)
+{
+    Distribution d("d", "x", 10.0, 20.0, 2);
+    d.sample(5.0);
+    d.sample(25.0);
+    d.sample(20.0); // boundary: overflow (range is half-open)
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+}
+
+TEST(DistributionStat, MomentsAreExact)
+{
+    Distribution d("d", "x", 0.0, 10.0, 5);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(d.minSeen(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 6.0);
+}
+
+TEST(DistributionStat, WeightedSamples)
+{
+    Distribution d("d", "x", 0.0, 10.0, 5);
+    d.sample(3.0, 4);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_EQ(d.bucket(1), 4u);
+}
+
+TEST(DistributionStat, BucketFracSumsToOneWithoutOverflow)
+{
+    Distribution d("d", "x", 0.0, 40.0, 4);
+    for (int i = 0; i < 40; ++i)
+        d.sample(static_cast<double>(i));
+    double total = 0.0;
+    for (std::size_t b = 0; b < d.numBuckets(); ++b)
+        total += d.bucketFrac(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DistributionStat, ResetClearsEverything)
+{
+    Distribution d("d", "x", 0.0, 10.0, 2);
+    d.sample(1.0);
+    d.sample(100.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.bucket(0), 0u);
+}
+
+TEST(DistributionStat, SingleSampleHasZeroStddev)
+{
+    Distribution d("d", "x", 0.0, 10.0, 2);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(TimeSeriesStat, RecordsPointsInOrder)
+{
+    TimeSeries ts("ts", "series");
+    ts.sample(10, 1.0);
+    ts.sample(20, 2.0);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[0].first, 10u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].second, 2.0);
+    ts.reset();
+    EXPECT_TRUE(ts.points().empty());
+}
+
+TEST(StatGroup, DumpsAllRegisteredStats)
+{
+    StatGroup g("grp");
+    Scalar a("alpha", "first");
+    Scalar b("beta", "second");
+    g.add(a);
+    g.add(b);
+    a += 1;
+    b += 2;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllResetsMembers)
+{
+    StatGroup g;
+    Scalar a("a", "x");
+    g.add(a);
+    a += 5;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(StatGroup, AddGroupMergesReferences)
+{
+    StatGroup inner("inner");
+    Scalar a("a", "x");
+    inner.add(a);
+    StatGroup outer("outer");
+    outer.addGroup(inner);
+    EXPECT_EQ(outer.all().size(), 1u);
+    EXPECT_EQ(outer.all()[0], &a);
+}
+
+TEST(DistributionStatDeath, BadRangePanics)
+{
+    EXPECT_DEATH(Distribution("d", "x", 5.0, 5.0, 4), "range");
+}
+
+/** Property sweep: bucket accounting is exact for many geometries. */
+class DistributionGeometry
+    : public ::testing::TestWithParam<std::tuple<double, double, int>>
+{};
+
+TEST_P(DistributionGeometry, EveryInRangeSampleLandsInExactlyOneBucket)
+{
+    const auto [lo, hi, buckets] = GetParam();
+    Distribution d("d", "x", lo, hi,
+                   static_cast<std::size_t>(buckets));
+    const double step = (hi - lo) / 97.0;
+    std::uint64_t expected = 0;
+    for (double v = lo; v < hi; v += step) {
+        d.sample(v);
+        ++expected;
+    }
+    std::uint64_t in_buckets = 0;
+    for (std::size_t b = 0; b < d.numBuckets(); ++b)
+        in_buckets += d.bucket(b);
+    EXPECT_EQ(in_buckets, expected);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DistributionGeometry,
+    ::testing::Values(std::make_tuple(0.0, 1.0, 1),
+                      std::make_tuple(0.0, 100.0, 7),
+                      std::make_tuple(-50.0, 50.0, 10),
+                      std::make_tuple(0.25, 0.75, 3),
+                      std::make_tuple(0.0, 4000.0, 40)));

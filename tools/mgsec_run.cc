@@ -1,0 +1,132 @@
+/**
+ * @file
+ * mgsec_run — the command-line front end of the simulator.
+ *
+ * Examples:
+ *   mgsec_run --workload spmv --scheme dynamic --batching on
+ *   mgsec_run --config my.cfg --stats-out stats.txt
+ *   mgsec_run --workload mm --trace-record /tmp/mm   # write traces
+ *   mgsec_run --trace-play /tmp/mm.gpu1.trace        # replay GPU 1
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/json_out.hh"
+#include "core/options.hh"
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/trace_io.hh"
+
+using namespace mgsec;
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts;
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const double scale = opts.exp.strongScaling
+        ? opts.exp.scale * 4.0 / opts.exp.numGpus
+        : opts.exp.scale;
+    const WorkloadProfile profile =
+        makeProfile(opts.workload, scale, opts.exp.numGpus);
+
+    if (!opts.traceRecord.empty()) {
+        for (NodeId g = 1; g <= opts.exp.numGpus; ++g) {
+            const std::string path = strformat(
+                "%s.gpu%u.trace", opts.traceRecord.c_str(), g);
+            const std::uint64_t n = recordTrace(
+                path, profile, g, opts.exp.numGpus + 1,
+                opts.exp.seed);
+            std::cout << "wrote " << n << " ops to " << path << "\n";
+        }
+        return 0;
+    }
+
+    auto build = [&](OtpScheme scheme, bool batching) {
+        ExperimentConfig e = opts.exp;
+        e.scheme = scheme;
+        e.batching = batching;
+        auto sys = std::make_unique<MultiGpuSystem>(
+            makeSystemConfig(e), profile);
+        if (!opts.tracePlay.empty()) {
+            sys->replaceWorkload(
+                1, std::make_unique<TraceFileSource>(opts.tracePlay));
+        }
+        return sys;
+    };
+
+    auto sys = build(opts.exp.scheme, opts.exp.batching);
+    const RunResult r = sys->run();
+    if (!r.completed) {
+        std::cerr << "run did not complete\n";
+        return 1;
+    }
+
+    std::cout << "workload " << opts.workload << " on "
+              << opts.exp.numGpus << " GPUs, scheme "
+              << otpSchemeName(opts.exp.scheme)
+              << (opts.exp.batching ? "+Batching" : "") << "\n";
+    std::cout << "  cycles:        " << r.cycles << "\n";
+    std::cout << "  traffic:       "
+              << fmtBytes(static_cast<double>(r.totalBytes)) << "\n";
+    std::cout << "  remote ops:    " << r.remoteOps << "\n";
+    std::cout << "  local ops:     " << r.localOps << "\n";
+    std::cout << "  migrations:    " << r.migrations << "\n";
+    std::cout << "  avg latency:   "
+              << fmtDouble(r.avgRemoteLatency, 0) << " cycles\n";
+    if (opts.exp.scheme != OtpScheme::Unsecure) {
+        for (Direction d : {Direction::Send, Direction::Recv}) {
+            std::cout << "  OTP " << directionName(d) << ":      "
+                      << fmtPct(r.otp.frac(d, OtpOutcome::Hit))
+                      << " hit / "
+                      << fmtPct(r.otp.frac(d, OtpOutcome::Partial))
+                      << " partial / "
+                      << fmtPct(r.otp.frac(d, OtpOutcome::Miss))
+                      << " miss\n";
+        }
+    }
+
+    if (opts.baseline && opts.exp.scheme != OtpScheme::Unsecure) {
+        auto base_sys = build(OtpScheme::Unsecure, false);
+        const RunResult base = base_sys->run();
+        if (base.completed) {
+            std::cout << "  vs unsecure:   "
+                      << fmtDouble(normalizedTime(r, base))
+                      << "x time, "
+                      << fmtDouble(normalizedTraffic(r, base))
+                      << "x traffic\n";
+        }
+    }
+
+    if (!opts.jsonOut.empty()) {
+        if (opts.jsonOut == "-") {
+            writeResultJson(std::cout, r);
+        } else {
+            std::ofstream os(opts.jsonOut);
+            if (!os) {
+                std::cerr << "cannot write " << opts.jsonOut << "\n";
+                return 1;
+            }
+            writeResultJson(os, r);
+        }
+    }
+
+    if (!opts.statsOut.empty()) {
+        if (opts.statsOut == "-") {
+            sys->dumpStats(std::cout);
+        } else {
+            std::ofstream os(opts.statsOut);
+            if (!os) {
+                std::cerr << "cannot write " << opts.statsOut << "\n";
+                return 1;
+            }
+            sys->dumpStats(os);
+            std::cout << "stats written to " << opts.statsOut << "\n";
+        }
+    }
+    return 0;
+}
