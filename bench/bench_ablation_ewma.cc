@@ -13,39 +13,6 @@
 using namespace mgsec;
 using namespace mgsec::bench;
 
-namespace
-{
-
-double
-meanTime(const DynamicPadTable::Params &params, const BenchArgs &args)
-{
-    std::vector<double> times;
-    for (const auto &wl : workloadNames()) {
-        ExperimentConfig cfg;
-        cfg.scheme = OtpScheme::Dynamic;
-        cfg.batching = true;
-        cfg.scale = args.scale;
-        Norm n;
-        for (int s = 1; s <= args.seeds; ++s) {
-            cfg.seed = static_cast<std::uint64_t>(s);
-            SystemConfig sc = makeSystemConfig(cfg);
-            sc.security.dynParams = params;
-            ExperimentConfig base = cfg;
-            base.scheme = OtpScheme::Unsecure;
-            base.batching = false;
-            const RunResult b = runWorkload(wl, base);
-            MultiGpuSystem sys(
-                sc, makeProfile(wl, cfg.scale, cfg.numGpus));
-            const RunResult r = sys.run();
-            n.time += normalizedTime(r, b) / args.seeds;
-        }
-        times.push_back(n.time);
-    }
-    return mean(times);
-}
-
-} // anonymous namespace
-
 int
 main(int argc, char **argv)
 {
@@ -53,30 +20,68 @@ main(int argc, char **argv)
     banner("Ablation — Dynamic EWMA hyperparameters",
            "sensitivity of Table III's alpha=0.9, beta=0.5, T=1000");
 
-    Table ta({"alpha", "norm.time"});
-    for (double a : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+    // All parameter variants normalize against the same unsecure
+    // baselines, so one sweep memoizes them across the whole study.
+    Sweep sweep(args);
+    auto queue = [&](const DynamicPadTable::Params &params) {
+        std::vector<std::size_t> hs;
+        for (const auto &wl : workloadNames()) {
+            ExperimentConfig cfg;
+            cfg.scheme = OtpScheme::Dynamic;
+            cfg.batching = true;
+            cfg.dynParams = params;
+            hs.push_back(sweep.addNormalized(wl, cfg));
+        }
+        return hs;
+    };
+
+    const std::vector<double> alphas = {0.3, 0.5, 0.7, 0.9, 1.0};
+    const std::vector<double> betas = {0.1, 0.3, 0.5, 0.7, 0.9};
+    const std::vector<Cycles> intervals = {250, 500, 1000, 2000,
+                                           4000};
+    std::vector<std::vector<std::size_t>> ha, hb, hc;
+    for (double a : alphas) {
         DynamicPadTable::Params p;
         p.alpha = a;
-        ta.addRow({fmtDouble(a, 1), fmtDouble(meanTime(p, args))});
+        ha.push_back(queue(p));
     }
+    for (double b : betas) {
+        DynamicPadTable::Params p;
+        p.beta = b;
+        hb.push_back(queue(p));
+    }
+    for (Cycles t : intervals) {
+        DynamicPadTable::Params p;
+        p.interval = t;
+        hc.push_back(queue(p));
+    }
+    sweep.run();
+
+    auto meanTime = [&](const std::vector<std::size_t> &hs) {
+        std::vector<double> times;
+        for (std::size_t h : hs)
+            times.push_back(sweep.normalized(h).time);
+        return mean(times);
+    };
+
+    Table ta({"alpha", "norm.time"});
+    for (std::size_t i = 0; i < alphas.size(); ++i)
+        ta.addRow({fmtDouble(alphas[i], 1),
+                   fmtDouble(meanTime(ha[i]))});
     ta.print(std::cout);
     std::cout << "\n";
 
     Table tb({"beta", "norm.time"});
-    for (double b : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        DynamicPadTable::Params p;
-        p.beta = b;
-        tb.addRow({fmtDouble(b, 1), fmtDouble(meanTime(p, args))});
-    }
+    for (std::size_t i = 0; i < betas.size(); ++i)
+        tb.addRow({fmtDouble(betas[i], 1),
+                   fmtDouble(meanTime(hb[i]))});
     tb.print(std::cout);
     std::cout << "\n";
 
     Table tc({"T (cycles)", "norm.time"});
-    for (Cycles t : {250u, 500u, 1000u, 2000u, 4000u}) {
-        DynamicPadTable::Params p;
-        p.interval = t;
-        tc.addRow({std::to_string(t), fmtDouble(meanTime(p, args))});
-    }
+    for (std::size_t i = 0; i < intervals.size(); ++i)
+        tc.addRow({std::to_string(intervals[i]),
+                   fmtDouble(meanTime(hc[i]))});
     tc.print(std::cout);
     return 0;
 }

@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench/common.hh"
-#include "core/system.hh"
 
 using namespace mgsec;
 using namespace mgsec::bench;
@@ -22,35 +21,26 @@ main(int argc, char **argv)
     banner("Ablation — host memory protection",
            "cost isolation of the Sec. IV-A assumption");
 
+    Sweep sweep(args);
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
+    for (const auto &wl : workloadNames()) {
+        ExperimentConfig cfg;
+        cfg.scheme = OtpScheme::Dynamic;
+        cfg.batching = true;
+        cfg.hostMemProtect = 0; // comm protection only
+        const std::size_t off = sweep.addNormalized(wl, cfg);
+        cfg.hostMemProtect = 1; // plus the host-DRAM tree
+        handles.emplace_back(off, sweep.addNormalized(wl, cfg));
+    }
+    sweep.run();
+
     Table t({"workload", "comm only", "comm + host memprot"});
     std::vector<double> c1, c2;
-    for (const auto &wl : workloadNames()) {
-        double without = 0, with = 0;
-        for (int s = 1; s <= args.seeds; ++s) {
-            ExperimentConfig e;
-            e.scheme = OtpScheme::Dynamic;
-            e.batching = true;
-            e.scale = args.scale;
-            e.seed = static_cast<std::uint64_t>(s);
-            ExperimentConfig be = e;
-            be.scheme = OtpScheme::Unsecure;
-            be.batching = false;
-            const RunResult base = runWorkload(wl, be);
-
-            SystemConfig off = makeSystemConfig(e);
-            off.cpu.memProtect.enabled = false;
-            MultiGpuSystem sys_off(
-                off, makeProfile(wl, e.scale, e.numGpus));
-            without +=
-                normalizedTime(sys_off.run(), base) / args.seeds;
-
-            SystemConfig on = makeSystemConfig(e);
-            on.cpu.memProtect.enabled = true;
-            MultiGpuSystem sys_on(
-                on, makeProfile(wl, e.scale, e.numGpus));
-            with += normalizedTime(sys_on.run(), base) / args.seeds;
-        }
-        t.addRow({wl, fmtDouble(without), fmtDouble(with)});
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double without = sweep.normalized(handles[w].first).time;
+        const double with = sweep.normalized(handles[w].second).time;
+        t.addRow({names[w], fmtDouble(without), fmtDouble(with)});
         c1.push_back(without);
         c2.push_back(with);
     }

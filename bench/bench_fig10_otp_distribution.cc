@@ -21,16 +21,26 @@ main(int argc, char **argv)
     banner("Fig. 10 — OTP hit/partial/miss distribution",
            "Fig. 10 (Private / Shared / Cached, OTP 4x, 4 GPUs)");
 
-    Table t({"scheme", "dir", "hit", "partial", "miss", "hidden"});
-    for (OtpScheme scheme : {OtpScheme::Private, OtpScheme::Shared,
-                             OtpScheme::Cached}) {
-        OtpStats agg;
+    const std::vector<OtpScheme> schemes = {
+        OtpScheme::Private, OtpScheme::Shared, OtpScheme::Cached};
+
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
         for (const auto &wl : workloadNames()) {
             ExperimentConfig cfg;
-            cfg.scheme = scheme;
-            const Norm n = runNormalized(wl, cfg, args);
-            agg += n.sample.otp;
+            cfg.scheme = schemes[s];
+            handles[s].push_back(sweep.addNormalized(wl, cfg));
         }
+    }
+    sweep.run();
+
+    Table t({"scheme", "dir", "hit", "partial", "miss", "hidden"});
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const OtpScheme scheme = schemes[s];
+        OtpStats agg;
+        for (std::size_t h : handles[s])
+            agg += sweep.normalized(h).sample.otp;
         for (Direction d : {Direction::Send, Direction::Recv}) {
             const double h = agg.frac(d, OtpOutcome::Hit);
             const double p = agg.frac(d, OtpOutcome::Partial);

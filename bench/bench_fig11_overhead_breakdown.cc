@@ -20,16 +20,25 @@ main(int argc, char **argv)
     banner("Fig. 11 — secure communication vs. metadata traffic",
            "Fig. 11 (+SecureCommu, +Traffic; Private OTP 4x)");
 
-    Table t({"workload", "+SecureCommu", "+Traffic"});
-    std::vector<double> c1, c2;
+    Sweep sweep(args);
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
     for (const auto &wl : workloadNames()) {
         ExperimentConfig cfg;
         cfg.scheme = OtpScheme::Private;
         cfg.countMetadataBytes = false;
-        const Norm latency_only = runNormalized(wl, cfg, args);
+        const std::size_t lat = sweep.addNormalized(wl, cfg);
         cfg.countMetadataBytes = true;
-        const Norm with_meta = runNormalized(wl, cfg, args);
-        t.addRow({wl, fmtDouble(latency_only.time),
+        handles.emplace_back(lat, sweep.addNormalized(wl, cfg));
+    }
+    sweep.run();
+
+    Table t({"workload", "+SecureCommu", "+Traffic"});
+    std::vector<double> c1, c2;
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const Norm &latency_only = sweep.normalized(handles[w].first);
+        const Norm &with_meta = sweep.normalized(handles[w].second);
+        t.addRow({names[w], fmtDouble(latency_only.time),
                   fmtDouble(with_meta.time)});
         c1.push_back(latency_only.time);
         c2.push_back(with_meta.time);

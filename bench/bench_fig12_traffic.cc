@@ -19,13 +19,22 @@ main(int argc, char **argv)
     banner("Fig. 12 — traffic increase from security metadata",
            "Fig. 12 (normalized interconnect traffic, Private 4x)");
 
-    Table t({"workload", "traffic", "hdr%", "payload%", "meta%",
-             "ack%"});
-    std::vector<double> ratios;
+    Sweep sweep(args);
+    std::vector<std::size_t> handles;
     for (const auto &wl : workloadNames()) {
         ExperimentConfig cfg;
         cfg.scheme = OtpScheme::Private;
-        const Norm n = runNormalized(wl, cfg, args);
+        handles.push_back(sweep.addNormalized(wl, cfg));
+    }
+    sweep.run();
+
+    Table t({"workload", "traffic", "hdr%", "payload%", "meta%",
+             "ack%"});
+    std::vector<double> ratios;
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &wl = names[w];
+        const Norm &n = sweep.normalized(handles[w]);
         const auto &cb = n.sample.classBytes;
         const double total = static_cast<double>(
             cb[0] + cb[1] + cb[2] + cb[3]);

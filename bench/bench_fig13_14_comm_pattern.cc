@@ -24,8 +24,12 @@ main(int argc, char **argv)
     ExperimentConfig cfg;
     cfg.scheme = OtpScheme::Unsecure;
     cfg.commSampleInterval = 4000;
-    cfg.seed = 1;
-    const RunResult r = runOnce("mm", cfg, args);
+    cfg.seed = 1; // one representative run; --seeds does not apply
+
+    Sweep sweep(args);
+    const std::size_t h = sweep.addRaw("mm", cfg);
+    sweep.run();
+    const RunResult &r = sweep.raw(h);
 
     Table t({"tick", "send%", "recv%", "toCPU%", "toGPU2%",
              "toGPU3%", "toGPU4%"});

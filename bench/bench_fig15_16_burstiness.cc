@@ -48,16 +48,27 @@ main(int argc, char **argv)
     banner("Fig. 15/16 — burstiness of inter-processor data blocks",
            "Fig. 15 (16 blocks) and Fig. 16 (32 blocks)");
 
+    // One run per workload feeds both block-count tables (the old
+    // serial driver simulated every workload twice).
+    Sweep sweep(args);
+    std::vector<std::size_t> handles;
+    for (const auto &wl : workloadNames()) {
+        ExperimentConfig cfg;
+        cfg.scheme = OtpScheme::Unsecure;
+        handles.push_back(sweep.addRaw(wl, cfg));
+    }
+    sweep.run();
+
+    const auto &names = workloadNames();
     for (const int blocks : {16, 32}) {
         std::cout << "--- time to accumulate " << blocks
                   << " data blocks on a pair\n";
         Table t({"workload", "[0,40)", "[40,160)", "[160,640)",
                  "[640,2560)", ">=2560", "samples"});
         std::vector<double> under160;
-        for (const auto &wl : workloadNames()) {
-            ExperimentConfig cfg;
-            cfg.scheme = OtpScheme::Unsecure;
-            const RunResult r = runOnce(wl, cfg, args);
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const auto &wl = names[w];
+            const RunResult &r = sweep.raw(handles[w]);
             const auto &samples =
                 blocks == 16 ? r.burst16 : r.burst32;
             const auto h = histogram(samples);

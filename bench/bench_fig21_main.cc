@@ -40,14 +40,26 @@ main(int argc, char **argv)
              "Dynamic(4x)", "Batching(4x)"});
     std::vector<std::vector<double>> cols(configs.size());
 
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles;
     for (const auto &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
-        for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<std::size_t> hs;
+        for (const auto &c : configs) {
             ExperimentConfig cfg;
-            cfg.scheme = configs[c].scheme;
-            cfg.otpMult = configs[c].mult;
-            cfg.batching = configs[c].batching;
-            const Norm n = runNormalized(wl, cfg, args);
+            cfg.scheme = c.scheme;
+            cfg.otpMult = c.mult;
+            cfg.batching = c.batching;
+            hs.push_back(sweep.addNormalized(wl, cfg));
+        }
+        handles.push_back(std::move(hs));
+    }
+    sweep.run();
+
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const Norm &n = sweep.normalized(handles[w][c]);
             row.push_back(fmtDouble(n.time));
             cols[c].push_back(n.time);
         }

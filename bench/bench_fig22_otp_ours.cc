@@ -30,16 +30,24 @@ main(int argc, char **argv)
         {"Ours", OtpScheme::Dynamic, true},
     };
 
-    Table t({"scheme", "dir", "hit", "partial", "miss", "hidden"});
-    for (const auto &c : configs) {
-        OtpStats agg;
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
         for (const auto &wl : workloadNames()) {
             ExperimentConfig cfg;
-            cfg.scheme = c.scheme;
-            cfg.batching = c.batching;
-            const Norm n = runNormalized(wl, cfg, args);
-            agg += n.sample.otp;
+            cfg.scheme = configs[c].scheme;
+            cfg.batching = configs[c].batching;
+            handles[c].push_back(sweep.addNormalized(wl, cfg));
         }
+    }
+    sweep.run();
+
+    Table t({"scheme", "dir", "hit", "partial", "miss", "hidden"});
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const auto &c = configs[ci];
+        OtpStats agg;
+        for (std::size_t h : handles[ci])
+            agg += sweep.normalized(h).sample.otp;
         for (Direction d : {Direction::Send, Direction::Recv}) {
             const double h = agg.frac(d, OtpOutcome::Hit);
             const double p = agg.frac(d, OtpOutcome::Partial);

@@ -18,19 +18,34 @@ main(int argc, char **argv)
     banner("Fig. 23 — traffic reduction from metadata batching",
            "Fig. 23 (Private / Cached / Ours, OTP 4x)");
 
-    Table t({"workload", "Private", "Cached", "Ours"});
-    std::vector<double> cp, cc, co;
+    Sweep sweep(args);
+    struct Handles
+    {
+        std::size_t priv, cached, ours;
+    };
+    std::vector<Handles> handles;
     for (const auto &wl : workloadNames()) {
         ExperimentConfig cfg;
         cfg.scheme = OtpScheme::Private;
-        const Norm np = runNormalized(wl, cfg, args);
+        const std::size_t hp = sweep.addNormalized(wl, cfg);
         cfg.scheme = OtpScheme::Cached;
-        const Norm nc = runNormalized(wl, cfg, args);
+        const std::size_t hc = sweep.addNormalized(wl, cfg);
         cfg.scheme = OtpScheme::Dynamic;
         cfg.batching = true;
-        const Norm no = runNormalized(wl, cfg, args);
-        t.addRow({wl, fmtDouble(np.traffic), fmtDouble(nc.traffic),
-                  fmtDouble(no.traffic)});
+        handles.push_back(
+            Handles{hp, hc, sweep.addNormalized(wl, cfg)});
+    }
+    sweep.run();
+
+    Table t({"workload", "Private", "Cached", "Ours"});
+    std::vector<double> cp, cc, co;
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const Norm &np = sweep.normalized(handles[w].priv);
+        const Norm &nc = sweep.normalized(handles[w].cached);
+        const Norm &no = sweep.normalized(handles[w].ours);
+        t.addRow({names[w], fmtDouble(np.traffic),
+                  fmtDouble(nc.traffic), fmtDouble(no.traffic)});
         cp.push_back(np.traffic);
         cc.push_back(nc.traffic);
         co.push_back(no.traffic);

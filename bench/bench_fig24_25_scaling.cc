@@ -20,23 +20,43 @@ main(int argc, char **argv)
     banner("Fig. 24/25 — sensitivity to the number of GPUs",
            "Fig. 24 (8 GPUs), Fig. 25 (16 GPUs)");
 
-    for (std::uint32_t gpus : {8u, 16u}) {
+    // Queue both system sizes in one sweep so the pool overlaps them.
+    const std::vector<std::uint32_t> gpu_counts = {8, 16};
+    struct Handles
+    {
+        std::size_t priv, cached, ours;
+    };
+    Sweep sweep(args);
+    std::vector<std::vector<Handles>> handles(gpu_counts.size());
+    for (std::size_t g = 0; g < gpu_counts.size(); ++g) {
+        for (const auto &wl : workloadNames()) {
+            ExperimentConfig cfg;
+            cfg.numGpus = gpu_counts[g];
+            cfg.scheme = OtpScheme::Private;
+            const std::size_t hp = sweep.addNormalized(wl, cfg);
+            cfg.scheme = OtpScheme::Cached;
+            const std::size_t hc = sweep.addNormalized(wl, cfg);
+            cfg.scheme = OtpScheme::Dynamic;
+            cfg.batching = true;
+            handles[g].push_back(
+                Handles{hp, hc, sweep.addNormalized(wl, cfg)});
+        }
+    }
+    sweep.run();
+
+    const auto &names = workloadNames();
+    for (std::size_t g = 0; g < gpu_counts.size(); ++g) {
+        const std::uint32_t gpus = gpu_counts[g];
         std::cout << "--- " << gpus << "-GPU system (OTP 4x => "
                   << gpus * 2 * 4 << " buffers per GPU)\n";
         Table t({"workload", "Private", "Cached", "Ours"});
         std::vector<double> cp, cc, co;
-        for (const auto &wl : workloadNames()) {
-            ExperimentConfig cfg;
-            cfg.numGpus = gpus;
-            cfg.scheme = OtpScheme::Private;
-            const Norm np = runNormalized(wl, cfg, args);
-            cfg.scheme = OtpScheme::Cached;
-            const Norm nc = runNormalized(wl, cfg, args);
-            cfg.scheme = OtpScheme::Dynamic;
-            cfg.batching = true;
-            const Norm no = runNormalized(wl, cfg, args);
-            t.addRow({wl, fmtDouble(np.time), fmtDouble(nc.time),
-                      fmtDouble(no.time)});
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const Norm &np = sweep.normalized(handles[g][w].priv);
+            const Norm &nc = sweep.normalized(handles[g][w].cached);
+            const Norm &no = sweep.normalized(handles[g][w].ours);
+            t.addRow({names[w], fmtDouble(np.time),
+                      fmtDouble(nc.time), fmtDouble(no.time)});
             cp.push_back(np.time);
             cc.push_back(nc.time);
             co.push_back(no.time);

@@ -20,22 +20,42 @@ main(int argc, char **argv)
     banner("Fig. 26 — AES-GCM latency sensitivity",
            "Fig. 26 (10/20/30/40-cycle AES-GCM)");
 
-    Table t({"latency", "Private", "Cached", "Ours"});
-    for (Cycles lat : {10u, 20u, 30u, 40u}) {
-        std::vector<double> cp, cc, co;
+    const std::vector<Cycles> latencies = {10, 20, 30, 40};
+    struct Handles
+    {
+        std::size_t priv, cached, ours;
+    };
+    // The AES latency only matters to secured runs, so all four
+    // latency points share the same memoized unsecure baselines.
+    Sweep sweep(args);
+    std::vector<std::vector<Handles>> handles(latencies.size());
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
         for (const auto &wl : workloadNames()) {
             ExperimentConfig cfg;
-            cfg.aesLatency = lat;
+            cfg.aesLatency = latencies[l];
             cfg.scheme = OtpScheme::Private;
-            cp.push_back(runNormalized(wl, cfg, args).time);
+            const std::size_t hp = sweep.addNormalized(wl, cfg);
             cfg.scheme = OtpScheme::Cached;
-            cc.push_back(runNormalized(wl, cfg, args).time);
+            const std::size_t hc = sweep.addNormalized(wl, cfg);
             cfg.scheme = OtpScheme::Dynamic;
             cfg.batching = true;
-            co.push_back(runNormalized(wl, cfg, args).time);
+            handles[l].push_back(
+                Handles{hp, hc, sweep.addNormalized(wl, cfg)});
         }
-        t.addRow({std::to_string(lat) + " cyc", fmtDouble(mean(cp)),
-                  fmtDouble(mean(cc)), fmtDouble(mean(co))});
+    }
+    sweep.run();
+
+    Table t({"latency", "Private", "Cached", "Ours"});
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
+        std::vector<double> cp, cc, co;
+        for (const Handles &h : handles[l]) {
+            cp.push_back(sweep.normalized(h.priv).time);
+            cc.push_back(sweep.normalized(h.cached).time);
+            co.push_back(sweep.normalized(h.ours).time);
+        }
+        t.addRow({std::to_string(latencies[l]) + " cyc",
+                  fmtDouble(mean(cp)), fmtDouble(mean(cc)),
+                  fmtDouble(mean(co))});
     }
     t.print(std::cout);
 

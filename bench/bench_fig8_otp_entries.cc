@@ -23,13 +23,26 @@ main(int argc, char **argv)
     Table t({"workload", "1x", "2x", "4x", "8x", "16x"});
     std::vector<std::vector<double>> cols(mults.size());
 
+    // Queue the whole matrix, run it once on the job pool.
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles;
     for (const auto &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
-        for (std::size_t m = 0; m < mults.size(); ++m) {
+        std::vector<std::size_t> hs;
+        for (std::uint32_t mult : mults) {
             ExperimentConfig cfg;
             cfg.scheme = OtpScheme::Private;
-            cfg.otpMult = mults[m];
-            const Norm n = runNormalized(wl, cfg, args);
+            cfg.otpMult = mult;
+            hs.push_back(sweep.addNormalized(wl, cfg));
+        }
+        handles.push_back(std::move(hs));
+    }
+    sweep.run();
+
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t m = 0; m < mults.size(); ++m) {
+            const Norm &n = sweep.normalized(handles[w][m]);
             row.push_back(fmtDouble(n.time));
             cols[m].push_back(n.time);
         }

@@ -24,12 +24,24 @@ main(int argc, char **argv)
     Table t({"workload", "Private", "Shared", "Cached"});
     std::vector<std::vector<double>> cols(schemes.size());
 
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles;
     for (const auto &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
+        std::vector<std::size_t> hs;
+        for (OtpScheme scheme : schemes) {
             ExperimentConfig cfg;
-            cfg.scheme = schemes[s];
-            const Norm n = runNormalized(wl, cfg, args);
+            cfg.scheme = scheme;
+            hs.push_back(sweep.addNormalized(wl, cfg));
+        }
+        handles.push_back(std::move(hs));
+    }
+    sweep.run();
+
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const Norm &n = sweep.normalized(handles[w][s]);
             row.push_back(fmtDouble(n.time));
             cols[s].push_back(n.time);
         }

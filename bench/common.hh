@@ -1,90 +1,83 @@
 /**
  * @file
- * Shared plumbing for the figure/table benches: seed-averaged
- * normalized metrics and common CLI handling.
+ * Shared plumbing for the figure/table benches: batched sweep
+ * execution, seed-averaged normalized metrics, and common CLI
+ * handling.
  *
  * Every bench accepts:
  *   --scale S   workload size multiplier (default 0.6)
  *   --seeds N   seeds averaged per configuration (default 2)
- * so CI runs can trade accuracy for speed.
+ *   --jobs N    parallel simulation jobs (default: all hardware
+ *               threads)
+ * so CI runs can trade accuracy for speed. Unknown flags and
+ * out-of-range values are rejected with a usage message.
+ *
+ * Benches queue their whole (workload x config) matrix on a
+ * mgsec::Sweep and run it once: the job pool overlaps every
+ * simulation and each unsecure baseline is simulated exactly once
+ * per (workload, gpus, scale, seed) regardless of how many secure
+ * configurations normalize against it. Results are keyed by
+ * submission handle, so any --jobs value prints identical tables.
  */
 
 #ifndef MGSEC_BENCH_COMMON_HH
 #define MGSEC_BENCH_COMMON_HH
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 namespace mgsec::bench
 {
 
-struct BenchArgs
+struct BenchArgs : SweepArgs
 {
-    double scale = 0.6;
-    int seeds = 2;
-
     static BenchArgs
     parse(int argc, char **argv)
     {
         BenchArgs a;
-        for (int i = 1; i < argc; ++i) {
-            if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
-                a.scale = std::atof(argv[++i]);
-            else if (std::strcmp(argv[i], "--seeds") == 0 &&
-                     i + 1 < argc)
-                a.seeds = std::atoi(argv[++i]);
-        }
-        if (a.scale <= 0.0)
-            a.scale = 0.6;
-        if (a.seeds < 1)
-            a.seeds = 1;
+        a.parseArgs(argc, argv);
         return a;
     }
 };
 
 /** Seed-averaged metrics of one configuration vs. its baseline. */
-struct Norm
-{
-    double time = 0.0;
-    double traffic = 0.0;
-    RunResult sample; ///< last secure run (for OTP stats etc.)
-};
+using Norm = NormResult;
 
+/**
+ * One-off seed-averaged normalized measurement — a thin wrapper over
+ * a single-entry Sweep. Benches measuring more than one
+ * configuration should batch them on one Sweep instead so the runs
+ * overlap and baselines are shared.
+ */
 inline Norm
-runNormalized(const std::string &wl, ExperimentConfig cfg,
+runNormalized(const std::string &wl, const ExperimentConfig &cfg,
               const BenchArgs &args)
 {
-    Norm n;
-    cfg.scale = args.scale;
-    for (int s = 1; s <= args.seeds; ++s) {
-        cfg.seed = static_cast<std::uint64_t>(s);
-        ExperimentConfig base = cfg;
-        base.scheme = OtpScheme::Unsecure;
-        base.batching = false;
-        base.countMetadataBytes = true;
-        const RunResult b = runWorkload(wl, base);
-        const RunResult r = runWorkload(wl, cfg);
-        n.time += normalizedTime(r, b) / args.seeds;
-        n.traffic += normalizedTraffic(r, b) / args.seeds;
-        if (s == args.seeds)
-            n.sample = r;
-    }
-    return n;
+    Sweep sweep(args);
+    const std::size_t h = sweep.addNormalized(wl, cfg);
+    sweep.run();
+    return sweep.normalized(h);
 }
 
-/** An unnormalized, single-seed run (pattern/burstiness figures). */
+/**
+ * An unnormalized run (pattern/burstiness figures). Applies
+ * args.scale but runs cfg.seed verbatim: --seeds deliberately does
+ * NOT apply here, because these figures show one representative
+ * run's time series, not a seed average.
+ */
 inline RunResult
-runOnce(const std::string &wl, ExperimentConfig cfg,
+runOnce(const std::string &wl, const ExperimentConfig &cfg,
         const BenchArgs &args)
 {
-    cfg.scale = args.scale;
-    return runWorkload(wl, cfg);
+    Sweep sweep(args);
+    const std::size_t h = sweep.addRaw(wl, cfg);
+    sweep.run();
+    return sweep.raw(h);
 }
 
 inline void

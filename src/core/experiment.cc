@@ -21,10 +21,13 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.security.aesLatency = cfg.aesLatency;
     sys.security.otpMultiplier = cfg.otpMult;
     sys.security.countMetadataBytes = cfg.countMetadataBytes;
+    sys.security.dynParams = cfg.dynParams;
     // The trusted host of the paper's architecture protects its
     // untrusted DRAM (PENGLAI-style); the vanilla baseline has no
-    // protection anywhere.
-    sys.cpu.memProtect.enabled = cfg.scheme != OtpScheme::Unsecure;
+    // protection anywhere. The ablation benches override the default.
+    sys.cpu.memProtect.enabled = cfg.hostMemProtect < 0
+                                     ? cfg.scheme != OtpScheme::Unsecure
+                                     : cfg.hostMemProtect != 0;
     return sys;
 }
 

@@ -29,6 +29,16 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     Cycles commSampleInterval = 0;
 
+    /** Dynamic allocator hyperparameters (EWMA ablation). */
+    DynamicPadTable::Params dynParams{};
+
+    /**
+     * Host DRAM protection: -1 = auto (enabled iff the scheme is
+     * secure, the paper's threat model), 0 = force off, 1 = force on
+     * (memprot ablation).
+     */
+    int hostMemProtect = -1;
+
     /**
      * The paper keeps the problem size fixed when growing the GPU
      * count (Sec. V-D), so per-GPU work shrinks as 4/numGpus.

@@ -1,0 +1,80 @@
+#include "core/job_pool.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+unsigned
+JobPool::defaultWorkers()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+JobPool::JobPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this]() { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+std::future<RunResult>
+JobPool::submit(const std::string &workload,
+                const ExperimentConfig &cfg)
+{
+    return submitTask(
+        [workload, cfg]() { return runWorkload(workload, cfg); });
+}
+
+std::future<RunResult>
+JobPool::submitTask(std::function<RunResult()> fn)
+{
+    MGSEC_ASSERT(fn != nullptr, "null job");
+    std::packaged_task<RunResult()> task(std::move(fn));
+    std::future<RunResult> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        MGSEC_ASSERT(!stopping_, "submit on a stopping pool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<RunResult()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A packaged_task captures exceptions into the future, so a
+        // throwing job surfaces at the caller's get(), not here.
+        task();
+    }
+}
+
+} // namespace mgsec

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A fixed-size worker-thread pool for simulation jobs.
+ *
+ * Independent simulations are embarrassingly parallel: every
+ * MultiGpuSystem owns its event queue, RNG, and stats, so concurrent
+ * runWorkload() calls share nothing but immutable configuration.
+ * The pool hands results back through futures keyed to the submit()
+ * call, so callers always consume them in submission order and the
+ * completion order of the workers can never reorder a downstream
+ * reduction — parallel sweeps are bit-identical to serial ones.
+ */
+
+#ifndef MGSEC_CORE_JOB_POOL_HH
+#define MGSEC_CORE_JOB_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace mgsec
+{
+
+class JobPool
+{
+  public:
+    /**
+     * @param workers worker-thread count; 0 = defaultWorkers().
+     */
+    explicit JobPool(unsigned workers = 0);
+
+    /** Drains the queue (every submitted job completes), then joins. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Queue one simulation of @p workload under @p cfg. */
+    std::future<RunResult> submit(const std::string &workload,
+                                  const ExperimentConfig &cfg);
+
+    /** Queue an arbitrary job producing a RunResult. */
+    std::future<RunResult> submitTask(std::function<RunResult()> fn);
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::packaged_task<RunResult()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_JOB_POOL_HH

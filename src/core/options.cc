@@ -1,7 +1,10 @@
 #include "core/options.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -11,6 +14,58 @@
 
 namespace mgsec
 {
+
+bool
+parseNumber(const std::string &text, double lo, double hi, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    if (!(v >= lo && v <= hi))
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseNumber(const std::string &text, long long lo, long long hi,
+            long long &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseNumber(const std::string &text, unsigned long long lo,
+            unsigned long long hi, unsigned long long &out)
+{
+    // strtoull silently wraps negatives; reject them up front.
+    if (text.empty() || text.find('-') != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
 
 bool
 parseScheme(const std::string &text, OtpScheme &out)
@@ -62,31 +117,40 @@ trim(const std::string &s)
 bool
 RunOptions::set(const std::string &key, const std::string &value)
 {
+    // Range-checked parsing into temporaries: a bad value reports an
+    // error instead of throwing (std::stoul) or silently wrapping.
+    unsigned long long u = 0;
+    double d = 0.0;
     bool ok = true;
     if (key == "workload") {
         workload = value;
     } else if (key == "gpus") {
-        exp.numGpus = static_cast<std::uint32_t>(
-            std::stoul(value));
+        if ((ok = parseNumber(value, 1ULL, 256ULL, u)))
+            exp.numGpus = static_cast<std::uint32_t>(u);
     } else if (key == "scheme") {
         ok = parseScheme(value, exp.scheme);
     } else if (key == "batching") {
         ok = parseBool(value, exp.batching);
     } else if (key == "batch-size") {
-        exp.batchSize = static_cast<std::uint32_t>(
-            std::stoul(value));
+        if ((ok = parseNumber(value, 1ULL, 1ULL << 20, u)))
+            exp.batchSize = static_cast<std::uint32_t>(u);
     } else if (key == "otp-mult") {
-        exp.otpMult = static_cast<std::uint32_t>(std::stoul(value));
+        if ((ok = parseNumber(value, 1ULL, 1ULL << 20, u)))
+            exp.otpMult = static_cast<std::uint32_t>(u);
     } else if (key == "aes-latency") {
-        exp.aesLatency = std::stoull(value);
+        if ((ok = parseNumber(value, 0ULL, 1ULL << 32, u)))
+            exp.aesLatency = u;
     } else if (key == "scale") {
-        exp.scale = std::stod(value);
+        if ((ok = parseNumber(value, 1e-6, 1e6, d)))
+            exp.scale = d;
     } else if (key == "seed") {
-        exp.seed = std::stoull(value);
+        if ((ok = parseNumber(value, 0ULL, UINT64_MAX, u)))
+            exp.seed = u;
     } else if (key == "count-metadata") {
         ok = parseBool(value, exp.countMetadataBytes);
     } else if (key == "comm-sample-interval") {
-        exp.commSampleInterval = std::stoull(value);
+        if ((ok = parseNumber(value, 0ULL, UINT64_MAX, u)))
+            exp.commSampleInterval = u;
     } else if (key == "strong-scaling") {
         ok = parseBool(value, exp.strongScaling);
     } else if (key == "baseline") {

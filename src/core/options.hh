@@ -22,6 +22,21 @@ namespace mgsec
 /** Parse a scheme name ("private", "Dynamic", ...). */
 bool parseScheme(const std::string &text, OtpScheme &out);
 
+/**
+ * @name Strict numeric parsing
+ * The entire string must convert (no trailing junk, no empty string)
+ * and the value must lie in [lo, hi]; @p out is untouched on failure.
+ * Shared by the bench/tool argument parsers and RunOptions.
+ */
+/// @{
+bool parseNumber(const std::string &text, double lo, double hi,
+                 double &out);
+bool parseNumber(const std::string &text, long long lo, long long hi,
+                 long long &out);
+bool parseNumber(const std::string &text, unsigned long long lo,
+                 unsigned long long hi, unsigned long long &out);
+/// @}
+
 struct RunOptions
 {
     ExperimentConfig exp;

@@ -1,0 +1,250 @@
+#include "core/sweep.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+#include "core/job_pool.hh"
+#include "core/options.hh"
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+void
+SweepArgs::printUsage(std::ostream &os, const char *argv0) const
+{
+    os << "usage: " << argv0 << " [--scale S] [--seeds N] [--jobs N]";
+    if (acceptGpus)
+        os << " [--gpus N]";
+    if (acceptJson)
+        os << " [--json FILE]";
+    os << "\n"
+       << "  --scale S  workload size multiplier (default " << scale
+       << ")\n"
+       << "  --seeds N  seeds averaged per configuration (default "
+       << seeds << ")\n"
+       << "  --jobs N   parallel simulation jobs (default: all "
+       << "hardware threads)\n";
+    if (acceptGpus)
+        os << "  --gpus N   GPUs in the simulated system (default "
+           << gpus << ")\n";
+    if (acceptJson)
+        os << "  --json F   also write the results as JSON to F\n";
+}
+
+void
+SweepArgs::parseArgs(int argc, char **argv)
+{
+    // Honor MGSEC_DEBUG in every bench/tool; Sweep::run() drops to
+    // one worker when any flag is on so traces stay readable.
+    debug::enableFromEnv();
+    auto die = [&](const char *fmt, const char *what) {
+        std::fprintf(stderr, fmt, what);
+        std::fputc('\n', stderr);
+        printUsage(std::cerr, argv[0]);
+        std::exit(2);
+    };
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            die("missing value for '%s'", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printUsage(std::cout, argv[0]);
+            std::exit(0);
+        } else if (std::strcmp(arg, "--scale") == 0) {
+            if (!parseNumber(value(i), 1e-6, 1e6, scale))
+                die("bad --scale value '%s'", argv[i]);
+        } else if (std::strcmp(arg, "--seeds") == 0) {
+            long long v = 0;
+            if (!parseNumber(value(i), 1LL, 10000LL, v))
+                die("bad --seeds value '%s'", argv[i]);
+            seeds = static_cast<int>(v);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            unsigned long long v = 0;
+            if (!parseNumber(value(i), 1ULL, 1024ULL, v))
+                die("bad --jobs value '%s'", argv[i]);
+            jobs = static_cast<unsigned>(v);
+        } else if (acceptGpus && std::strcmp(arg, "--gpus") == 0) {
+            unsigned long long v = 0;
+            if (!parseNumber(value(i), 1ULL, 256ULL, v))
+                die("bad --gpus value '%s'", argv[i]);
+            gpus = static_cast<std::uint32_t>(v);
+        } else if (acceptJson && std::strcmp(arg, "--json") == 0) {
+            jsonOut = value(i);
+        } else {
+            die("unknown flag '%s'", arg);
+        }
+    }
+}
+
+namespace
+{
+
+/** The unsecure configuration a normalized run measures against. */
+ExperimentConfig
+baselineConfig(ExperimentConfig cfg)
+{
+    cfg.scheme = OtpScheme::Unsecure;
+    cfg.batching = false;
+    cfg.countMetadataBytes = true;
+    cfg.hostMemProtect = -1; // auto: disabled for Unsecure
+    return cfg;
+}
+
+/**
+ * Cache key of a baseline: only the knobs that can change an
+ * unsecure run. The security knobs (otpMult, aesLatency, batchSize,
+ * dynParams, countMetadataBytes) are all gated behind
+ * SecurityConfig::secured(), so sweeps over them share one baseline.
+ */
+std::string
+baselineKey(const std::string &workload, const ExperimentConfig &cfg)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "|g%u|s%.17g|d%llu|ss%d|ci%llu",
+                  cfg.numGpus, cfg.scale,
+                  static_cast<unsigned long long>(cfg.seed),
+                  cfg.strongScaling ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      cfg.commSampleInterval));
+    return workload + buf;
+}
+
+} // anonymous namespace
+
+Sweep::Sweep(const SweepArgs &args)
+    : Sweep(args.scale, args.seeds, args.jobs)
+{}
+
+Sweep::Sweep(double scale, int seeds, unsigned jobs)
+    : scale_(scale), seeds_(seeds), jobs_(jobs)
+{
+    MGSEC_ASSERT(scale_ > 0.0, "non-positive sweep scale");
+    MGSEC_ASSERT(seeds_ >= 1, "sweep needs at least one seed");
+}
+
+std::size_t
+Sweep::addNormalized(const std::string &workload,
+                     ExperimentConfig cfg)
+{
+    MGSEC_ASSERT(!ran_, "Sweep::add after run()");
+    cfg.scale = scale_;
+    norm_.push_back(NormRequest{workload, cfg, NormResult{}});
+    return norm_.size() - 1;
+}
+
+std::size_t
+Sweep::addRaw(const std::string &workload, ExperimentConfig cfg)
+{
+    MGSEC_ASSERT(!ran_, "Sweep::add after run()");
+    cfg.scale = scale_;
+    raw_.push_back(RawRequest{workload, cfg, RunResult{}});
+    return raw_.size() - 1;
+}
+
+void
+Sweep::run()
+{
+    MGSEC_ASSERT(!ran_, "Sweep::run() called twice");
+    ran_ = true;
+
+    unsigned jobs = jobs_ == 0 ? JobPool::defaultWorkers() : jobs_;
+    if (jobs > 1) {
+        // Debug traces from concurrent runs interleave into one
+        // stream; keep them readable by serializing.
+        for (const debug::DebugFlag *f : debug::DebugFlag::all()) {
+            if (f->enabled()) {
+                warn("debug tracing enabled; running sweep with "
+                     "--jobs 1 so traces stay readable");
+                jobs = 1;
+                break;
+            }
+        }
+    }
+    resolved_jobs_ = jobs;
+
+    JobPool pool(jobs);
+
+    // Submit in deterministic (handle, seed) order. Baselines are
+    // memoized as shared futures so every normalized request of the
+    // same (workload, gpus, scale, seed) reuses one simulation.
+    std::map<std::string, std::shared_future<RunResult>> baselines;
+    struct NormFutures
+    {
+        std::vector<std::future<RunResult>> secure;
+        std::vector<std::shared_future<RunResult>> base;
+    };
+    std::vector<NormFutures> norm_futs(norm_.size());
+
+    for (std::size_t i = 0; i < norm_.size(); ++i) {
+        NormRequest &req = norm_[i];
+        for (int s = 1; s <= seeds_; ++s) {
+            ExperimentConfig cfg = req.cfg;
+            cfg.seed = static_cast<std::uint64_t>(s);
+            const ExperimentConfig base = baselineConfig(cfg);
+            const std::string key = baselineKey(req.workload, base);
+            auto it = baselines.find(key);
+            if (it == baselines.end()) {
+                it = baselines
+                         .emplace(key, pool.submit(req.workload, base)
+                                           .share())
+                         .first;
+                ++baseline_runs_;
+            } else {
+                ++baseline_hits_;
+            }
+            norm_futs[i].base.push_back(it->second);
+            norm_futs[i].secure.push_back(
+                pool.submit(req.workload, cfg));
+        }
+    }
+
+    std::vector<std::future<RunResult>> raw_futs;
+    raw_futs.reserve(raw_.size());
+    for (RawRequest &req : raw_)
+        raw_futs.push_back(pool.submit(req.workload, req.cfg));
+
+    // Harvest in submission order; the reduction below is the exact
+    // arithmetic of the historical serial runNormalized() loop, so
+    // converted benches reproduce their old output digit-for-digit.
+    for (std::size_t i = 0; i < norm_.size(); ++i) {
+        NormRequest &req = norm_[i];
+        for (int s = 1; s <= seeds_; ++s) {
+            const std::size_t k = static_cast<std::size_t>(s - 1);
+            const RunResult &b = norm_futs[i].base[k].get();
+            const RunResult r = norm_futs[i].secure[k].get();
+            req.result.time += normalizedTime(r, b) / seeds_;
+            req.result.traffic += normalizedTraffic(r, b) / seeds_;
+            if (s == seeds_)
+                req.result.sample = r;
+        }
+    }
+    for (std::size_t i = 0; i < raw_.size(); ++i)
+        raw_[i].result = raw_futs[i].get();
+}
+
+const NormResult &
+Sweep::normalized(std::size_t handle) const
+{
+    MGSEC_ASSERT(ran_, "Sweep::normalized before run()");
+    MGSEC_ASSERT(handle < norm_.size(), "bad normalized handle");
+    return norm_[handle].result;
+}
+
+const RunResult &
+Sweep::raw(std::size_t handle) const
+{
+    MGSEC_ASSERT(ran_, "Sweep::raw before run()");
+    MGSEC_ASSERT(handle < raw_.size(), "bad raw handle");
+    return raw_[handle].result;
+}
+
+} // namespace mgsec

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -16,7 +17,8 @@ EventQueue::schedule(Tick when, Callback cb)
                  static_cast<unsigned long long>(now_));
     MGSEC_ASSERT(cb != nullptr, "null event callback");
     const std::uint64_t seq = next_seq_++;
-    heap_.push(Entry{when, seq, std::move(cb)});
+    heap_.push_back(Entry{when, seq, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     pending_ids_.insert(seq);
     ++live_;
     return EventId{seq};
@@ -33,35 +35,44 @@ EventQueue::cancel(EventId id)
 {
     if (!id.valid())
         return false;
-    // Only a still-pending event can be cancelled; ids of events
-    // that already ran (or were already cancelled) are rejected.
-    auto it = pending_ids_.find(id.seq);
-    if (it == pending_ids_.end())
+    // Lazy cancel: only the pending set is updated; the heap entry
+    // stays behind and is discarded when it reaches the top. Ids of
+    // events that already ran (or were already cancelled) are no
+    // longer in the set and are rejected.
+    if (pending_ids_.erase(id.seq) == 0)
         return false;
-    pending_ids_.erase(it);
-    cancelled_.insert(id.seq);
     MGSEC_ASSERT(live_ > 0, "live counter out of sync");
     --live_;
     return true;
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+}
+
+void
+EventQueue::execute(Entry &e)
+{
+    MGSEC_ASSERT(e.when >= now_, "event queue time went backwards");
+    now_ = e.when;
+    --live_;
+    ++executed_;
+    e.cb();
 }
 
 bool
 EventQueue::runOne()
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        auto cit = cancelled_.find(e.seq);
-        if (cit != cancelled_.end()) {
-            cancelled_.erase(cit);
-            continue;
-        }
-        MGSEC_ASSERT(e.when >= now_, "event queue time went backwards");
-        pending_ids_.erase(e.seq);
-        now_ = e.when;
-        --live_;
-        ++executed_;
-        e.cb();
+        Entry e = popTop();
+        if (pending_ids_.erase(e.seq) == 0)
+            continue; // lazily-cancelled leftover
+        execute(e);
         return true;
     }
     return false;
@@ -72,16 +83,19 @@ EventQueue::run(Tick until, std::uint64_t max_events)
 {
     std::uint64_t n = 0;
     while (n < max_events && !heap_.empty()) {
-        // Peek past cancelled entries to honour the time bound.
-        while (!heap_.empty() &&
-               cancelled_.count(heap_.top().seq) != 0) {
-            cancelled_.erase(heap_.top().seq);
-            heap_.pop();
+        if (heap_.front().when > until) {
+            // The head may be a cancelled leftover; a live event past
+            // the bound must stay queued, so this is the one place a
+            // non-destructive liveness probe is needed.
+            if (pending_ids_.count(heap_.front().seq) != 0)
+                break;
+            popTop();
+            continue;
         }
-        if (heap_.empty() || heap_.top().when > until)
-            break;
-        if (!runOne())
-            break;
+        Entry e = popTop();
+        if (pending_ids_.erase(e.seq) == 0)
+            continue;
+        execute(e);
         ++n;
     }
     return n;

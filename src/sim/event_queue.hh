@@ -6,6 +6,13 @@
  * Events scheduled for the same tick execute in scheduling (FIFO)
  * order, which every higher-level component relies on for in-order
  * link delivery and deterministic replays.
+ *
+ * Cancellation is lazy: cancel() only removes the event's id from
+ * the pending set, and the heap entry is discarded when it surfaces.
+ * The pending set doubles as the liveness oracle, so the steady-state
+ * cost per executed event is one hash insert (schedule) and one hash
+ * erase (pop) — there is no separate cancelled set to consult on the
+ * hot path.
  */
 
 #ifndef MGSEC_SIM_EVENT_QUEUE_HH
@@ -13,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -110,10 +116,23 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    /** Seqs scheduled but not yet executed or cancelled. */
+    /** Pop the (when, seq)-least entry, moving it out of the heap. */
+    Entry popTop();
+    /** Advance time to @p e and run its callback. */
+    void execute(Entry &e);
+
+    /**
+     * Min-heap on (when, seq), managed with std::push_heap /
+     * std::pop_heap rather than std::priority_queue so entries can
+     * be *moved* out on pop — priority_queue::top() would force a
+     * copy of every callback's std::function state.
+     */
+    std::vector<Entry> heap_;
+    /**
+     * Seqs scheduled but not yet executed or cancelled. A popped
+     * heap entry whose seq is absent here was lazily cancelled.
+     */
     std::unordered_set<std::uint64_t> pending_ids_;
-    std::unordered_set<std::uint64_t> cancelled_;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
     std::uint64_t live_ = 0;

@@ -182,6 +182,93 @@ TEST(EventQueue, RunUntilSkipsCancelledHead)
     EXPECT_TRUE(ran);
 }
 
+TEST(EventQueue, CancelFromSameTickEvent)
+{
+    // An event cancelling a later same-tick sibling: with lazy
+    // cancellation the sibling's heap entry is already ordered, so
+    // this exercises the pop-time liveness check.
+    EventQueue eq;
+    bool ran = false;
+    EventId victim{};
+    eq.schedule(5, [&]() { EXPECT_TRUE(eq.cancel(victim)); });
+    victim = eq.schedule(5, [&]() { ran = true; });
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, CancelAfterLazyPopFails)
+{
+    // run(until) peeks past a cancelled head without executing it;
+    // cancelling that id again must still fail and must not corrupt
+    // the live-event counter.
+    EventQueue eq;
+    EventId a = eq.schedule(10, []() {});
+    eq.schedule(20, []() {});
+    eq.cancel(a);
+    eq.run(15); // pops a's stale heap entry while skipping it
+    EXPECT_FALSE(eq.cancel(a));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunOneSkipsLeadingCancellations)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    bool ran = false;
+    for (Tick t = 1; t <= 4; ++t)
+        ids.push_back(eq.schedule(t, []() {}));
+    eq.schedule(5, [&]() { ran = true; });
+    for (EventId id : ids)
+        eq.cancel(id);
+    // One runOne() must chew through all four stale entries and
+    // execute the live event behind them.
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, FifoOrderSurvivesInterleavedCancelsAtScale)
+{
+    // Scheduling micro-benchmark shaped like the simulator's hot
+    // path: tens of thousands of events across a few ticks, every
+    // third one cancelled. Guards the same-tick FIFO contract the
+    // pipelined secure channel depends on.
+    constexpr int kEvents = 30000;
+    EventQueue eq;
+    std::vector<int> order;
+    order.reserve(kEvents);
+    std::vector<EventId> ids;
+    ids.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+        const Tick t = static_cast<Tick>(i / 1000); // 1000 per tick
+        ids.push_back(
+            eq.schedule(t, [&order, i]() { order.push_back(i); }));
+    }
+    std::uint64_t cancelled = 0;
+    for (int i = 0; i < kEvents; i += 3) {
+        EXPECT_TRUE(eq.cancel(ids[static_cast<std::size_t>(i)]));
+        ++cancelled;
+    }
+    EXPECT_EQ(eq.pending(), kEvents - cancelled);
+    eq.run();
+
+    ASSERT_EQ(order.size(), kEvents - cancelled);
+    int prev = -1;
+    for (int got : order) {
+        EXPECT_GT(got, prev); // submission order within & across ticks
+        EXPECT_NE(got % 3, 0); // no cancelled event executed
+        prev = got;
+    }
+    EXPECT_EQ(eq.executed(), kEvents - cancelled);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)
 {
     EventQueue eq;

@@ -5,87 +5,127 @@
  * protection scheme, plus traffic ratios. This is the "is the model
  * calibrated?" dashboard used while developing the reproduction.
  *
- * Usage: mgsec_sweep [--gpus N] [--scale F] [--seeds N]
+ * Usage: mgsec_sweep [--gpus N] [--scale F] [--seeds N] [--jobs N]
+ *                    [--json FILE]
+ *
+ * The matrix runs on the parallel job pool; the unsecure baseline of
+ * each (workload, seed) is simulated once and shared by all six
+ * configurations, and results are keyed by submission order, so any
+ * --jobs value emits identical tables.
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/json_out.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace mgsec;
+
+namespace
+{
+
+struct Config
+{
+    const char *label;
+    OtpScheme scheme;
+    bool batching;
+    std::uint32_t mult;
+};
+
+const std::vector<Config> kConfigs = {
+    {"Priv4x", OtpScheme::Private, false, 4},
+    {"Priv16x", OtpScheme::Private, false, 16},
+    {"Shared", OtpScheme::Shared, false, 4},
+    {"Cached4x", OtpScheme::Cached, false, 4},
+    {"Dyn4x", OtpScheme::Dynamic, false, 4},
+    {"Ours4x", OtpScheme::Dynamic, true, 4},
+};
+
+void
+writeJson(std::ostream &os, const SweepArgs &args, const Sweep &sweep,
+          const std::vector<std::vector<std::size_t>> &handles)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("gpus", static_cast<std::uint64_t>(args.gpus));
+    w.field("scale", args.scale);
+    w.field("seeds", static_cast<std::uint64_t>(args.seeds));
+    w.field("jobs", static_cast<std::uint64_t>(sweep.jobs()));
+    w.field("baselineRuns", sweep.baselineRuns());
+    w.field("baselineHits", sweep.baselineHits());
+    w.beginArray("rows");
+    const auto &names = workloadNames();
+    for (std::size_t wl = 0; wl < names.size(); ++wl) {
+        w.beginObject();
+        w.field("workload", names[wl]);
+        for (std::size_t c = 0; c < kConfigs.size(); ++c) {
+            const NormResult &n = sweep.normalized(handles[wl][c]);
+            w.key(std::string("time") + kConfigs[c].label);
+            w.value(n.time);
+            w.key(std::string("traffic") + kConfigs[c].label);
+            w.value(n.traffic);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::uint32_t gpus = 4;
-    double scale = 1.0;
-    int seeds = 2;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--gpus") == 0 && i + 1 < argc)
-            gpus = static_cast<std::uint32_t>(std::atoi(argv[++i]));
-        else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
-            scale = std::atof(argv[++i]);
-        else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc)
-            seeds = std::atoi(argv[++i]);
+    SweepArgs args;
+    args.scale = 1.0;
+    args.acceptGpus = true;
+    args.acceptJson = true;
+    args.parseArgs(argc, argv);
+
+    std::cout << "normalized execution time, " << args.gpus
+              << "-GPU system, " << args.seeds << " seed(s), scale "
+              << args.scale << "\n\n";
+
+    Sweep sweep(args);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const auto &wl : workloadNames()) {
+        std::vector<std::size_t> hs;
+        for (const auto &c : kConfigs) {
+            ExperimentConfig e;
+            e.numGpus = args.gpus;
+            e.scheme = c.scheme;
+            e.batching = c.batching;
+            e.otpMult = c.mult;
+            hs.push_back(sweep.addNormalized(wl, e));
+        }
+        handles.push_back(std::move(hs));
     }
-    if (seeds < 1)
-        seeds = 1;
-
-    struct Config
-    {
-        const char *label;
-        OtpScheme scheme;
-        bool batching;
-        std::uint32_t mult;
-    };
-    const std::vector<Config> configs = {
-        {"Priv4x", OtpScheme::Private, false, 4},
-        {"Priv16x", OtpScheme::Private, false, 16},
-        {"Shared", OtpScheme::Shared, false, 4},
-        {"Cached4x", OtpScheme::Cached, false, 4},
-        {"Dyn4x", OtpScheme::Dynamic, false, 4},
-        {"Ours4x", OtpScheme::Dynamic, true, 4},
-    };
-
-    std::cout << "normalized execution time, " << gpus
-              << "-GPU system, " << seeds << " seed(s), scale "
-              << scale << "\n\n";
+    sweep.run();
 
     Table t({"workload", "Priv4x", "Priv16x", "Shared", "Cached4x",
              "Dyn4x", "Ours4x", "trafP4x", "trafOurs"});
     std::map<std::string, std::vector<double>> agg;
     std::vector<double> traf_p, traf_o;
 
-    for (const auto &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
+    const auto &names = workloadNames();
+    for (std::size_t wl = 0; wl < names.size(); ++wl) {
+        std::vector<std::string> row = {names[wl]};
         double tp = 0, to = 0;
-        for (const auto &c : configs) {
-            double nt = 0, tr = 0;
-            for (int s = 1; s <= seeds; ++s) {
-                ExperimentConfig e;
-                e.numGpus = gpus;
-                e.scale = scale;
-                e.seed = static_cast<std::uint64_t>(s);
-                ExperimentConfig base = e;
-                base.scheme = OtpScheme::Unsecure;
-                const RunResult b = runWorkload(wl, base);
-                e.scheme = c.scheme;
-                e.batching = c.batching;
-                e.otpMult = c.mult;
-                const RunResult r = runWorkload(wl, e);
-                nt += normalizedTime(r, b) / seeds;
-                tr += normalizedTraffic(r, b) / seeds;
-            }
-            row.push_back(fmtDouble(nt));
-            agg[c.label].push_back(nt);
-            if (std::strcmp(c.label, "Priv4x") == 0)
-                tp = tr;
-            if (std::strcmp(c.label, "Ours4x") == 0)
-                to = tr;
+        for (std::size_t c = 0; c < kConfigs.size(); ++c) {
+            const NormResult &n = sweep.normalized(handles[wl][c]);
+            row.push_back(fmtDouble(n.time));
+            agg[kConfigs[c].label].push_back(n.time);
+            if (std::string("Priv4x") == kConfigs[c].label)
+                tp = n.traffic;
+            if (std::string("Ours4x") == kConfigs[c].label)
+                to = n.traffic;
         }
         row.push_back(fmtDouble(tp));
         row.push_back(fmtDouble(to));
@@ -94,15 +134,31 @@ main(int argc, char **argv)
         t.addRow(row);
     }
     std::vector<std::string> avg = {"MEAN"};
-    for (const auto &c : configs)
+    for (const auto &c : kConfigs)
         avg.push_back(fmtDouble(mean(agg[c.label])));
     avg.push_back(fmtDouble(mean(traf_p)));
     avg.push_back(fmtDouble(mean(traf_o)));
     t.addRow(avg);
     t.print(std::cout);
 
+    std::cout << "\nbaseline cache: " << sweep.baselineRuns()
+              << " baseline run(s), " << sweep.baselineHits()
+              << " hit(s); " << sweep.jobs() << " job(s)\n";
     std::cout << "\npaper (4 GPUs): Private 1.195, Private16x 1.140, "
                  "Shared 2.663, Cached 1.163, Dynamic 1.147, Ours "
                  "1.079; traffic 1.365 -> ~1.09\n";
+
+    if (!args.jsonOut.empty()) {
+        if (args.jsonOut == "-") {
+            writeJson(std::cout, args, sweep, handles);
+        } else {
+            std::ofstream os(args.jsonOut);
+            if (!os) {
+                std::cerr << "cannot write " << args.jsonOut << "\n";
+                return 1;
+            }
+            writeJson(os, args, sweep, handles);
+        }
+    }
     return 0;
 }
