@@ -14,6 +14,7 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.numGpus = cfg.numGpus;
     sys.seed = cfg.seed;
     sys.commSampleInterval = cfg.commSampleInterval;
+    sys.expectedEvents = cfg.expectedEvents;
 
     sys.security.scheme = cfg.scheme;
     sys.security.batching = cfg.batching;

@@ -29,6 +29,13 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     Cycles commSampleInterval = 0;
 
+    /**
+     * Hint for EventQueue::reserve(): expected peak of pending
+     * events. 0 = auto (sized from the outstanding-request windows).
+     * Purely a performance knob — never changes simulated results.
+     */
+    std::uint64_t expectedEvents = 0;
+
     /** Dynamic allocator hyperparameters (EWMA ablation). */
     DynamicPadTable::Params dynParams{};
 

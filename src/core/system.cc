@@ -13,6 +13,17 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     : cfg_(cfg), profile_(profile)
 {
     const std::uint32_t n = cfg_.numNodes();
+    // Pre-size the event queue: the pending population is bounded by
+    // each node's outstanding-request window plus per-peer ACK/batch
+    // timers and in-flight link deliveries; 2x covers lazily
+    // cancelled leftovers still parked in the heap.
+    std::uint64_t hint = cfg_.expectedEvents;
+    if (hint == 0) {
+        const std::uint64_t window =
+            std::max(cfg_.gpu.maxOutstanding, cfg_.cpu.maxOutstanding);
+        hint = static_cast<std::uint64_t>(n) * (window + 64) * 2;
+    }
+    eq_.reserve(hint);
     net_ = std::make_unique<Network>("net", eq_, n, cfg_.pcie,
                                      cfg_.nvlink);
     pt_ = std::make_unique<PageTable>("pt", eq_, cfg_.pageTable, n);

@@ -67,6 +67,12 @@ struct SystemConfig
     std::uint64_t seed = 1;
     /** Safety valve: abort runs that exceed this many cycles. */
     Tick maxCycles = 500'000'000;
+    /**
+     * Expected peak of simultaneously-pending events; pre-sizes the
+     * event queue so steady-state scheduling never reallocates.
+     * 0 = derive from the node count and outstanding-request windows.
+     */
+    std::uint64_t expectedEvents = 0;
     /** >0: sample GPU 1's communication mix every N cycles. */
     Cycles commSampleInterval = 0;
 

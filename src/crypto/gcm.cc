@@ -1,5 +1,6 @@
 #include "crypto/gcm.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace mgsec::crypto
@@ -9,6 +10,7 @@ AesGcm::AesGcm(const std::array<std::uint8_t, 16> &key) : aes_(key)
 {
     Block zero{};
     h_ = aes_.encrypt(zero);
+    hkey_ = GhashKey(h_);
 }
 
 Block
@@ -29,35 +31,57 @@ AesGcm::ctrCrypt(const Iv96 &iv, const std::uint8_t *in,
 {
     std::uint32_t ctr = 2; // J0 = IV || 1; data starts at inc32(J0).
     std::size_t off = 0;
+    while (off + 16 <= len) {
+        const Block ks = aes_.encrypt(counterBlock(iv, ctr++));
+        // Word-wise XOR: XOR is bytewise, so endianness is moot.
+        std::uint64_t a, b, k0, k1;
+        std::memcpy(&a, in + off, 8);
+        std::memcpy(&b, in + off + 8, 8);
+        std::memcpy(&k0, ks.data(), 8);
+        std::memcpy(&k1, ks.data() + 8, 8);
+        a ^= k0;
+        b ^= k1;
+        std::memcpy(out + off, &a, 8);
+        std::memcpy(out + off + 8, &b, 8);
+        off += 16;
+    }
+    if (off < len) {
+        const Block ks = aes_.encrypt(counterBlock(iv, ctr));
+        for (std::size_t i = 0; off + i < len; ++i)
+            out[off + i] =
+                static_cast<std::uint8_t>(in[off + i] ^ ks[i]);
+    }
+}
+
+void
+AesGcm::keystreamTo(const Iv96 &iv, std::uint8_t *out,
+                    std::size_t len) const
+{
+    std::uint32_t ctr = 2;
+    std::size_t off = 0;
     while (off < len) {
         const Block ks = aes_.encrypt(counterBlock(iv, ctr++));
         const std::size_t n = std::min<std::size_t>(16, len - off);
-        for (std::size_t i = 0; i < n; ++i)
-            out[off + i] = static_cast<std::uint8_t>(in[off + i] ^
-                                                     ks[i]);
+        std::memcpy(out + off, ks.data(), n);
         off += n;
     }
 }
 
 Block
-AesGcm::computeTag(const Iv96 &iv,
-                   const std::vector<std::uint8_t> &aad,
-                   const std::vector<std::uint8_t> &cipher) const
+AesGcm::computeTag(const Iv96 &iv, const std::uint8_t *aad,
+                   std::size_t aad_len, const std::uint8_t *cipher,
+                   std::size_t cipher_len) const
 {
-    Ghash gh(h_);
-    if (!aad.empty())
-        gh.updateBytes(aad.data(), aad.size());
-    if (!cipher.empty())
-        gh.updateBytes(cipher.data(), cipher.size());
+    Ghash gh(hkey_);
+    if (aad_len > 0)
+        gh.updateBytes(aad, aad_len);
+    if (cipher_len > 0)
+        gh.updateBytes(cipher, cipher_len);
     // Length block: 64-bit bit lengths of AAD and ciphertext.
     Block len{};
-    const std::uint64_t abits = static_cast<std::uint64_t>(aad.size()) * 8;
-    const std::uint64_t cbits =
-        static_cast<std::uint64_t>(cipher.size()) * 8;
-    for (int i = 0; i < 8; ++i) {
-        len[i] = static_cast<std::uint8_t>(abits >> (56 - 8 * i));
-        len[8 + i] = static_cast<std::uint8_t>(cbits >> (56 - 8 * i));
-    }
+    store64be(len.data(), static_cast<std::uint64_t>(aad_len) * 8);
+    store64be(len.data() + 8,
+              static_cast<std::uint64_t>(cipher_len) * 8);
     gh.update(len);
     Block tag = gh.digest();
     const Block ekj0 = aes_.encrypt(counterBlock(iv, 1));
@@ -76,7 +100,8 @@ AesGcm::seal(const Iv96 &iv, const std::vector<std::uint8_t> &plaintext,
         ctrCrypt(iv, plaintext.data(), out.ciphertext.data(),
                  plaintext.size());
     }
-    out.tag = computeTag(iv, aad, out.ciphertext);
+    out.tag = computeTag(iv, aad.data(), aad.size(),
+                         out.ciphertext.data(), out.ciphertext.size());
     return out;
 }
 
@@ -85,7 +110,9 @@ AesGcm::open(const Iv96 &iv, const std::vector<std::uint8_t> &ciphertext,
              const Block &tag, std::vector<std::uint8_t> &plaintext,
              const std::vector<std::uint8_t> &aad) const
 {
-    const Block expect = computeTag(iv, aad, ciphertext);
+    const Block expect = computeTag(iv, aad.data(), aad.size(),
+                                    ciphertext.data(),
+                                    ciphertext.size());
     // Constant-time-ish comparison; timing of the simulator is not a
     // side channel we defend, but don't shortcut out of habit.
     std::uint8_t diff = 0;
@@ -104,10 +131,9 @@ AesGcm::open(const Iv96 &iv, const std::vector<std::uint8_t> &ciphertext,
 std::vector<std::uint8_t>
 AesGcm::keystream(const Iv96 &iv, std::size_t len) const
 {
-    std::vector<std::uint8_t> zeros(len, 0);
     std::vector<std::uint8_t> out(len);
     if (len > 0)
-        ctrCrypt(iv, zeros.data(), out.data(), len);
+        keystreamTo(iv, out.data(), len);
     return out;
 }
 

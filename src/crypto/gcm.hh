@@ -52,22 +52,38 @@ class AesGcm
               std::vector<std::uint8_t> &plaintext,
               const std::vector<std::uint8_t> &aad = {}) const;
 
-    /** Raw CTR keystream starting at counter block J0+1 (for pads). */
+    /**
+     * Raw CTR keystream starting at counter block J0+1, written into
+     * @p out — the allocation-free core every pad derivation uses.
+     */
+    void keystreamTo(const Iv96 &iv, std::uint8_t *out,
+                     std::size_t len) const;
+
+    /** Convenience vector form of keystreamTo(). */
     std::vector<std::uint8_t> keystream(const Iv96 &iv,
                                         std::size_t len) const;
 
+    /**
+     * GCM tag over (aad, cipher) given as raw spans, so callers with
+     * data already in arrays need not materialize vector copies.
+     * Null pointers with zero lengths are valid.
+     */
+    Block computeTag(const Iv96 &iv, const std::uint8_t *aad,
+                     std::size_t aad_len, const std::uint8_t *cipher,
+                     std::size_t cipher_len) const;
+
     const Block &hashKey() const { return h_; }
+    /** Precomputed GHASH tables for H (shared with PadFactory). */
+    const GhashKey &hashTables() const { return hkey_; }
 
   private:
     Block counterBlock(const Iv96 &iv, std::uint32_t ctr) const;
     void ctrCrypt(const Iv96 &iv, const std::uint8_t *in,
                   std::uint8_t *out, std::size_t len) const;
-    Block computeTag(const Iv96 &iv,
-                     const std::vector<std::uint8_t> &aad,
-                     const std::vector<std::uint8_t> &cipher) const;
 
     Aes128 aes_;
     Block h_{};
+    GhashKey hkey_;
 };
 
 } // namespace mgsec::crypto

@@ -8,22 +8,15 @@ namespace mgsec::crypto
 U128
 blockToU128(const Block &b)
 {
-    U128 v;
-    for (int i = 0; i < 8; ++i)
-        v.hi = (v.hi << 8) | b[i];
-    for (int i = 8; i < 16; ++i)
-        v.lo = (v.lo << 8) | b[i];
-    return v;
+    return U128{load64be(b.data()), load64be(b.data() + 8)};
 }
 
 Block
 u128ToBlock(const U128 &v)
 {
     Block b;
-    for (int i = 0; i < 8; ++i)
-        b[i] = static_cast<std::uint8_t>(v.hi >> (56 - 8 * i));
-    for (int i = 0; i < 8; ++i)
-        b[8 + i] = static_cast<std::uint8_t>(v.lo >> (56 - 8 * i));
+    store64be(b.data(), v.hi);
+    store64be(b.data() + 8, v.lo);
     return b;
 }
 
@@ -50,26 +43,92 @@ gfmul(const U128 &x, const U128 &y)
     return z;
 }
 
+namespace
+{
+
+/**
+ * Reduction of the four bits shifted out of a right-shift-by-4,
+ * premultiplied by the field polynomial (Shoup's "last4" table).
+ * Entry r is (r * x^124 mod P) >> 64's top 16 bits; shifted into
+ * place by mul().
+ */
+constexpr std::uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+};
+
+} // anonymous namespace
+
+GhashKey::GhashKey(const Block &h)
+{
+    // Populate the power-of-two entries by repeated halving of H
+    // (table index 8 is H itself: GCM's bit order makes nibble
+    // value 8 the polynomial 1).
+    U128 v = blockToU128(h);
+    hh_[8] = v.hi;
+    hl_[8] = v.lo;
+    for (int i = 4; i > 0; i >>= 1) {
+        const bool lsb = (v.lo & 1) != 0;
+        v.lo = (v.hi << 63) | (v.lo >> 1);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ULL;
+        hh_[i] = v.hi;
+        hl_[i] = v.lo;
+    }
+    // Remaining entries by linearity.
+    for (int i = 2; i <= 8; i *= 2) {
+        for (int j = 1; j < i; ++j) {
+            hh_[i + j] = hh_[i] ^ hh_[j];
+            hl_[i + j] = hl_[i] ^ hl_[j];
+        }
+    }
+}
+
+U128
+GhashKey::mul(const U128 &x) const
+{
+    // Process the 32 nibbles of x from the field's "last" end (the
+    // least-significant bits of lo) to its first, folding a 4-bit
+    // reduction (kLast4) into each shift.
+    std::uint64_t zh = 0;
+    std::uint64_t zl = 0;
+    for (int half = 0; half < 2; ++half) {
+        const std::uint64_t word = half == 0 ? x.lo : x.hi;
+        for (int i = 0; i < 16; ++i) {
+            const std::size_t nib = (word >> (4 * i)) & 0xf;
+            if (half != 0 || i != 0) {
+                const std::size_t rem = zl & 0xf;
+                zl = (zh << 60) | (zl >> 4);
+                zh = (zh >> 4) ^ (kLast4[rem] << 48);
+            }
+            zh ^= hh_[nib];
+            zl ^= hl_[nib];
+        }
+    }
+    return U128{zh, zl};
+}
+
 void
 Ghash::update(const Block &b)
 {
-    const U128 x = blockToU128(b);
-    y_.hi ^= x.hi;
-    y_.lo ^= x.lo;
-    y_ = gfmul(y_, h_);
+    y_.hi ^= load64be(b.data());
+    y_.lo ^= load64be(b.data() + 8);
+    y_ = key_.mul(y_);
 }
 
 void
 Ghash::updateBytes(const std::uint8_t *data, std::size_t len)
 {
-    Block b;
     while (len >= 16) {
-        std::memcpy(b.data(), data, 16);
-        update(b);
+        y_.hi ^= load64be(data);
+        y_.lo ^= load64be(data + 8);
+        y_ = key_.mul(y_);
         data += 16;
         len -= 16;
     }
     if (len > 0) {
+        Block b;
         b.fill(0);
         std::memcpy(b.data(), data, len);
         update(b);

@@ -4,6 +4,13 @@
  *
  * Operates over GF(2^128) with the GCM bit ordering (bit 0 of a block
  * is the most-significant bit of byte 0).
+ *
+ * Two multiplication paths exist: the bit-serial gfmul() reference
+ * (SP 800-38D algorithm 1, 128 iterations per block) and GhashKey,
+ * a 4-bit Shoup table precomputed per hash subkey that processes a
+ * block in 32 table lookups. The streaming Ghash class uses the
+ * table; gfmul() is kept as the cross-check oracle for the tests and
+ * the perf harness baseline.
  */
 
 #ifndef MGSEC_CRYPTO_GHASH_HH
@@ -11,12 +18,39 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <cstring>
 
 #include "crypto/aes.hh"
 
 namespace mgsec::crypto
 {
+
+/** @name Word load/store helpers (big-endian byte order)
+ * Shared by GHASH, GCM counter/length formatting, and the OTP seed
+ * derivation — the one place byte order is decided.
+ */
+/// @{
+inline std::uint64_t
+load64be(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap64(v);
+#endif
+}
+
+inline void
+store64be(std::uint8_t *p, std::uint64_t v)
+{
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_BIG_ENDIAN__
+    v = __builtin_bswap64(v);
+#endif
+    std::memcpy(p, &v, sizeof(v));
+}
+/// @}
 
 /** A 128-bit value in GCM bit order: hi holds bytes 0-7 big-endian. */
 struct U128
@@ -31,8 +65,29 @@ struct U128
 U128 blockToU128(const Block &b);
 Block u128ToBlock(const U128 &v);
 
-/** GF(2^128) multiplication, GCM convention. */
+/** Bit-serial GF(2^128) multiplication, GCM convention (reference). */
 U128 gfmul(const U128 &x, const U128 &y);
+
+/**
+ * Precomputed 4-bit multiplication tables for one hash subkey H
+ * (Shoup's method): mul() resolves X*H in 32 nibble lookups instead
+ * of gfmul's 128 shift/xor rounds. Build once per key, reuse for
+ * every block.
+ */
+class GhashKey
+{
+  public:
+    GhashKey() = default;
+    explicit GhashKey(const Block &h);
+
+    /** X * H in GF(2^128). */
+    U128 mul(const U128 &x) const;
+
+  private:
+    /** tbl hi/lo words indexed by a 4-bit multiplier nibble. */
+    std::uint64_t hh_[16]{};
+    std::uint64_t hl_[16]{};
+};
 
 /**
  * Incremental GHASH with hash subkey H. Feed whole 16-byte blocks;
@@ -42,7 +97,10 @@ U128 gfmul(const U128 &x, const U128 &y);
 class Ghash
 {
   public:
-    explicit Ghash(const Block &h) : h_(blockToU128(h)) {}
+    /** Builds the key tables on the spot (one-shot uses). */
+    explicit Ghash(const Block &h) : key_(h) {}
+    /** Reuses tables precomputed by a long-lived owner. */
+    explicit Ghash(const GhashKey &key) : key_(key) {}
 
     /** Absorb one block. */
     void update(const Block &b);
@@ -53,7 +111,7 @@ class Ghash
     void reset() { y_ = U128{}; }
 
   private:
-    U128 h_;
+    GhashKey key_;
     U128 y_{};
 };
 

@@ -16,8 +16,7 @@ PadFactory::seedIv(NodeId sender, NodeId receiver, std::uint64_t ctr,
     // 12-byte IV: 8 B counter, then sender/receiver ids (12 bits
     // each) and a 1-byte domain separator (enc vs. auth pad stream).
     Iv96 iv{};
-    for (int i = 0; i < 8; ++i)
-        iv[i] = static_cast<std::uint8_t>(ctr >> (56 - 8 * i));
+    store64be(iv.data(), ctr);
     iv[8] = static_cast<std::uint8_t>(sender & 0xff);
     iv[9] = static_cast<std::uint8_t>(((sender >> 8) & 0x0f) |
                                       ((receiver & 0x0f) << 4));
@@ -30,13 +29,12 @@ MessagePad
 PadFactory::derive(NodeId sender, NodeId receiver,
                    std::uint64_t ctr) const
 {
+    // Keystream lands straight in the pad: no temporary vectors.
     MessagePad pad;
-    const auto enc = gcm_.keystream(seedIv(sender, receiver, ctr, 0x01),
-                                    pad.encPad.size());
-    std::memcpy(pad.encPad.data(), enc.data(), pad.encPad.size());
-    const auto auth = gcm_.keystream(seedIv(sender, receiver, ctr, 0x02),
-                                     pad.authPad.size());
-    std::memcpy(pad.authPad.data(), auth.data(), pad.authPad.size());
+    gcm_.keystreamTo(seedIv(sender, receiver, ctr, 0x01),
+                     pad.encPad.data(), pad.encPad.size());
+    gcm_.keystreamTo(seedIv(sender, receiver, ctr, 0x02),
+                     pad.authPad.data(), pad.authPad.size());
     return pad;
 }
 
@@ -54,11 +52,10 @@ PadFactory::mac(const BlockPayload &cipher, NodeId sender,
                 NodeId receiver, std::uint64_t ctr,
                 const MessagePad &pad) const
 {
-    Ghash gh(gcm_.hashKey());
+    Ghash gh(gcm_.hashTables());
     gh.updateBytes(cipher.data(), cipher.size());
     Block hdr{};
-    for (int i = 0; i < 8; ++i)
-        hdr[i] = static_cast<std::uint8_t>(ctr >> (56 - 8 * i));
+    store64be(hdr.data(), ctr);
     hdr[8] = static_cast<std::uint8_t>(sender);
     hdr[9] = static_cast<std::uint8_t>(sender >> 8);
     hdr[10] = static_cast<std::uint8_t>(receiver);
@@ -75,7 +72,7 @@ MsgMac
 PadFactory::batchMac(const std::vector<MsgMac> &macs,
                      const MessagePad &first_pad) const
 {
-    Ghash gh(gcm_.hashKey());
+    Ghash gh(gcm_.hashTables());
     for (const MsgMac &m : macs)
         gh.updateBytes(m.data(), m.size());
     const Block digest = gh.digest();

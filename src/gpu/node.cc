@@ -66,7 +66,7 @@ Node::translateThroughTlbs(std::uint64_t addr)
     txns_.emplace(txn_id, txn);
     ++outstanding_;
 
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = makePacket();
     pkt->txnId = txn_id;
     pkt->type = PacketType::TransReq;
     pkt->src = id_;
@@ -177,7 +177,7 @@ Node::issueCurrent()
     txns_.emplace(txn_id, txn);
     ++outstanding_;
 
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = makePacket();
     pkt->txnId = txn_id;
     pkt->type = cur_op_.write ? PacketType::WriteReq
                               : PacketType::ReadReq;
@@ -214,7 +214,7 @@ Node::startMigration(std::uint64_t page, NodeId home)
     ++outstanding_;
 
     // The migration request itself: one secured control message.
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = makePacket();
     pkt->txnId = txn_id;
     pkt->type = PacketType::ReadReq;
     pkt->src = id_;
@@ -249,7 +249,7 @@ Node::serveRequest(PacketPtr pkt)
         const Tick ready = now() + params_.iommuLatency +
                            params_.serviceOverhead;
         eventq().schedule(ready, [this, requester, txn_id]() {
-            auto resp = std::make_unique<Packet>();
+            auto resp = makePacket();
             resp->txnId = txn_id;
             resp->type = PacketType::TransResp;
             resp->src = id_;
@@ -272,7 +272,7 @@ Node::serveRequest(PacketPtr pkt)
             // Blocks drain one per cycle once the page is read.
             const Tick send_at = data_ready + b;
             eventq().schedule(send_at, [this, requester, txn_id]() {
-                auto resp = std::make_unique<Packet>();
+                auto resp = makePacket();
                 resp->txnId = txn_id;
                 resp->type = PacketType::ReadResp;
                 resp->src = id_;
@@ -299,7 +299,7 @@ Node::serveRequest(PacketPtr pkt)
     }
 
     eventq().schedule(ready, [this, requester, txn_id, write]() {
-        auto resp = std::make_unique<Packet>();
+        auto resp = makePacket();
         resp->txnId = txn_id;
         resp->type = write ? PacketType::WriteResp
                            : PacketType::ReadResp;

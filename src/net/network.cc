@@ -33,9 +33,11 @@ Network::setHandler(NodeId node, Handler h)
 void
 Network::deliver(Tick when, PacketPtr pkt)
 {
-    auto *raw = pkt.release();
-    eventq().schedule(when, [this, raw]() {
-        PacketPtr p(raw);
+    // Moving the owning pointer into the callback (InplaceCallback
+    // takes move-only captures) means a run that stops with events
+    // still queued returns its in-flight packets to the pool instead
+    // of leaking them.
+    eventq().schedule(when, [this, p = std::move(pkt)]() mutable {
         MGSEC_ASSERT(handlers_[p->dst] != nullptr,
                      "no handler for node %u", p->dst);
         handlers_[p->dst](std::move(p));

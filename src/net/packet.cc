@@ -1,7 +1,62 @@
 #include "net/packet.hh"
 
+#include "net/packet_pool.hh"
+
 namespace mgsec
 {
+
+void
+Packet::reset()
+{
+    id = 0;
+    txnId = 0;
+    type = PacketType::ReadReq;
+    src = InvalidNode;
+    dst = InvalidNode;
+    addr = 0;
+    migration = false;
+    headerBytes = 0;
+    payloadBytes = 0;
+    secMetaBytes = 0;
+    ackBytes = 0;
+    secured = false;
+    msgCtr = 0;
+    padFallback = false;
+    hasMac = false;
+    batchId = 0;
+    batchLen = 0;
+    batchLast = false;
+    acks.clear();
+    func.reset();
+    sendReady = 0;
+}
+
+void
+PacketDeleter::operator()(Packet *p) const noexcept
+{
+    if (p != nullptr)
+        PacketPool::release(p);
+}
+
+void
+FunctionalPayloadDeleter::operator()(FunctionalPayload *p)
+    const noexcept
+{
+    if (p != nullptr)
+        PacketPool::releaseFunc(p);
+}
+
+PacketPtr
+makePacket()
+{
+    return PacketPool::acquire();
+}
+
+FunctionalPayloadPtr
+makeFunctionalPayload()
+{
+    return PacketPool::acquireFunc();
+}
 
 const char *
 packetTypeName(PacketType t)

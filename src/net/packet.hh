@@ -18,8 +18,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
+#include "sim/inline_vec.hh"
 #include "sim/types.hh"
 
 namespace mgsec
@@ -75,6 +75,27 @@ struct FunctionalPayload
     bool hasMac = false;
 };
 
+/** Returns a FunctionalPayload to the thread's pool (or frees it). */
+struct FunctionalPayloadDeleter
+{
+    void operator()(FunctionalPayload *p) const noexcept;
+};
+
+/**
+ * Owning handle to a packet's functional-crypto material. Pooled
+ * like the packets themselves; never shared, only moved along with
+ * its packet.
+ */
+using FunctionalPayloadPtr =
+    std::unique_ptr<FunctionalPayload, FunctionalPayloadDeleter>;
+
+/**
+ * Piggybacked ACKs ride inline: SecurityConfig::maxPiggybackAcks
+ * defaults to 2, so only the rarer standalone SecAck packets (which
+ * carry a whole flush's worth) ever spill to the heap.
+ */
+using AckList = InlineVec<AckRecord, 2>;
+
 struct Packet
 {
     std::uint64_t id = 0;       ///< unique packet id
@@ -99,13 +120,19 @@ struct Packet
     std::uint64_t batchId = 0;  ///< batch the message belongs to
     std::uint8_t batchLen = 0;  ///< nonzero on a batch's first message
     bool batchLast = false;     ///< closes its batch
-    std::vector<AckRecord> acks; ///< piggybacked ACKs
+    AckList acks; ///< piggybacked ACKs
 
     /** Real crypto material (functional-crypto mode only). */
-    std::shared_ptr<FunctionalPayload> func;
+    FunctionalPayloadPtr func;
 
     /** Timestamp when the secure-send stage accepted the message. */
     Tick sendReady = 0;
+
+    /**
+     * Return to the freshly-constructed state so a pooled packet can
+     * be recycled. Keeps any heap buffer the ack list spilled into.
+     */
+    void reset();
 
     Bytes
     wireBytes() const
@@ -130,7 +157,22 @@ struct Packet
     }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/** Returns a Packet to the thread's pool (or frees it). */
+struct PacketDeleter
+{
+    void operator()(Packet *p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/**
+ * Allocate a packet, recycling from the calling thread's PacketPool
+ * free list when possible. The only sanctioned way to create one.
+ */
+PacketPtr makePacket();
+
+/** Allocate (or recycle) a functional-crypto payload. */
+FunctionalPayloadPtr makeFunctionalPayload();
 
 } // namespace mgsec
 

@@ -1,0 +1,151 @@
+#include "net/packet_pool.hh"
+
+#include <vector>
+
+namespace mgsec
+{
+
+namespace
+{
+
+/**
+ * Per-thread pool state. Owned raw pointers; the destructor frees
+ * whatever is still cached when the worker thread exits.
+ */
+struct Tls
+{
+    std::vector<Packet *> packets;
+    std::vector<FunctionalPayload *> payloads;
+    PacketPool::Stats stats;
+    bool enabled = true;
+
+    ~Tls()
+    {
+        for (Packet *p : packets)
+            delete p;
+        for (FunctionalPayload *p : payloads)
+            delete p;
+    }
+};
+
+Tls &
+tls()
+{
+    thread_local Tls t;
+    return t;
+}
+
+} // anonymous namespace
+
+PacketPtr
+PacketPool::acquire()
+{
+    Tls &t = tls();
+    ++t.stats.livePackets;
+    if (t.enabled && !t.packets.empty()) {
+        Packet *p = t.packets.back();
+        t.packets.pop_back();
+        ++t.stats.reusedPackets;
+        return PacketPtr(p);
+    }
+    ++t.stats.freshPackets;
+    return PacketPtr(new Packet);
+}
+
+FunctionalPayloadPtr
+PacketPool::acquireFunc()
+{
+    Tls &t = tls();
+    if (t.enabled && !t.payloads.empty()) {
+        FunctionalPayload *p = t.payloads.back();
+        t.payloads.pop_back();
+        ++t.stats.reusedPayloads;
+        return FunctionalPayloadPtr(p);
+    }
+    ++t.stats.freshPayloads;
+    return FunctionalPayloadPtr(new FunctionalPayload);
+}
+
+void
+PacketPool::release(Packet *p) noexcept
+{
+    Tls &t = tls();
+    if (t.stats.livePackets > 0)
+        --t.stats.livePackets;
+    if (!t.enabled) {
+        delete p;
+        return;
+    }
+    p->reset();
+    t.packets.push_back(p);
+}
+
+void
+PacketPool::releaseFunc(FunctionalPayload *p) noexcept
+{
+    Tls &t = tls();
+    if (!t.enabled) {
+        delete p;
+        return;
+    }
+    // Stale cipher/mac bytes are unreachable once the flags drop, so
+    // only the flags need resetting.
+    p->hasCipher = false;
+    p->hasMac = false;
+    t.payloads.push_back(p);
+}
+
+void
+PacketPool::setEnabled(bool on)
+{
+    Tls &t = tls();
+    if (!on && t.enabled)
+        trim();
+    t.enabled = on;
+}
+
+bool
+PacketPool::enabled()
+{
+    return tls().enabled;
+}
+
+PacketPool::Stats
+PacketPool::stats()
+{
+    return tls().stats;
+}
+
+void
+PacketPool::resetStats()
+{
+    const std::uint64_t live = tls().stats.livePackets;
+    tls().stats = Stats{};
+    tls().stats.livePackets = live;
+}
+
+void
+PacketPool::trim()
+{
+    Tls &t = tls();
+    for (Packet *p : t.packets)
+        delete p;
+    t.packets.clear();
+    for (FunctionalPayload *p : t.payloads)
+        delete p;
+    t.payloads.clear();
+}
+
+std::uint64_t
+PacketPool::cachedPackets()
+{
+    return tls().packets.size();
+}
+
+std::uint64_t
+PacketPool::cachedPayloads()
+{
+    return tls().payloads.size();
+}
+
+} // namespace mgsec

@@ -130,9 +130,8 @@ SecureChannel::send(PacketPtr pkt)
     if (dep <= now()) {
         finishSend(std::move(pkt), now());
     } else {
-        auto *raw = pkt.release();
-        eventq().schedule(dep, [this, raw]() {
-            finishSend(PacketPtr(raw), now());
+        eventq().schedule(dep, [this, p = std::move(pkt)]() mutable {
+            finishSend(std::move(p), now());
         });
     }
 }
@@ -163,7 +162,7 @@ SecureChannel::applyFunctionalSend(Packet &pkt)
 {
     const crypto::MessagePad pad =
         factory_->derive(self_, pkt.dst, pkt.msgCtr);
-    auto fp = std::make_shared<FunctionalPayload>();
+    auto fp = makeFunctionalPayload();
     crypto::BlockPayload cipher{};
     if (pkt.payloadBytes >= kBlockBytes) {
         const crypto::BlockPayload pt =
@@ -292,12 +291,12 @@ SecureChannel::flushAcks(NodeId peer)
     auto &pa = pending_acks_[peer];
     if (pa.empty())
         return;
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = makePacket();
     pkt->id = next_pkt_id_++;
     pkt->type = PacketType::SecAck;
     pkt->src = self_;
     pkt->dst = peer;
-    pkt->acks = std::move(pa);
+    pkt->acks.assign(pa.begin(), pa.end());
     pa.clear();
     if (cfg_.countMetadataBytes) {
         pkt->headerBytes = cfg_.ackHeaderBytes;
@@ -314,7 +313,7 @@ void
 SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
                                 std::uint8_t count)
 {
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = makePacket();
     pkt->id = next_pkt_id_++;
     pkt->type = PacketType::BatchMac;
     pkt->src = self_;
@@ -325,7 +324,7 @@ SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
     if (factory_) {
         auto it = batch_macs_out_.find(batch_id);
         if (it != batch_macs_out_.end()) {
-            auto fp = std::make_shared<FunctionalPayload>();
+            auto fp = makeFunctionalPayload();
             fp->mac = factory_->batchMac(
                 it->second, batchMaskPad(self_, dst, batch_id));
             fp->hasMac = true;
@@ -344,8 +343,7 @@ SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
 }
 
 void
-SecureChannel::processAcks(NodeId from,
-                           const std::vector<AckRecord> &acks)
+SecureChannel::processAcks(NodeId from, const AckList &acks)
 {
     for (const AckRecord &rec : acks)
         replay_.ackUpTo(from, rec.upToCtr);
@@ -413,9 +411,8 @@ SecureChannel::handleArrival(PacketPtr pkt)
     if (ready <= now()) {
         deliver_(std::move(pkt));
     } else {
-        auto *raw = pkt.release();
-        eventq().schedule(ready, [this, raw]() {
-            deliver_(PacketPtr(raw));
+        eventq().schedule(ready, [this, p = std::move(pkt)]() mutable {
+            deliver_(std::move(p));
         });
     }
 }

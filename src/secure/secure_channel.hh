@@ -117,7 +117,7 @@ class SecureChannel : public SimObject
     void finishSend(PacketPtr pkt, Tick departure);
     void queueAck(NodeId peer, const AckRecord &rec);
     void flushAcks(NodeId peer);
-    void processAcks(NodeId from, const std::vector<AckRecord> &acks);
+    void processAcks(NodeId from, const AckList &acks);
     void sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
                           std::uint8_t count);
 

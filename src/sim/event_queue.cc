@@ -8,6 +8,13 @@
 namespace mgsec
 {
 
+void
+EventQueue::reserve(std::size_t expected_pending)
+{
+    heap_.reserve(expected_pending);
+    pending_ids_.reserve(expected_pending);
+}
+
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
@@ -15,7 +22,7 @@ EventQueue::schedule(Tick when, Callback cb)
                  "scheduling into the past: when=%llu now=%llu",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
-    MGSEC_ASSERT(cb != nullptr, "null event callback");
+    MGSEC_ASSERT(static_cast<bool>(cb), "null event callback");
     const std::uint64_t seq = next_seq_++;
     heap_.push_back(Entry{when, seq, std::move(cb)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
@@ -87,7 +94,7 @@ EventQueue::run(Tick until, std::uint64_t max_events)
             // The head may be a cancelled leftover; a live event past
             // the bound must stay queued, so this is the one place a
             // non-destructive liveness probe is needed.
-            if (pending_ids_.count(heap_.front().seq) != 0)
+            if (pending_ids_.contains(heap_.front().seq))
                 break;
             popTop();
             continue;

@@ -13,16 +13,23 @@
  * cost per executed event is one hash insert (schedule) and one hash
  * erase (pop) — there is no separate cancelled set to consult on the
  * hot path.
+ *
+ * Steady-state schedule()/runOne() perform no heap allocation:
+ * callbacks live inline in the heap entry (InplaceCallback — an
+ * oversized capture is a compile error, not a malloc), the pending
+ * set is a flat open-addressing table, and reserve() pre-sizes both
+ * containers from a caller-supplied event ceiling so neither grows
+ * mid-run.
  */
 
 #ifndef MGSEC_SIM_EVENT_QUEUE_HH
 #define MGSEC_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/flat_set.hh"
+#include "sim/inplace_function.hh"
 #include "sim/types.hh"
 
 namespace mgsec
@@ -47,7 +54,13 @@ struct EventId
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline callback storage: six words of capture. The largest
+     * schedulers (response completions capturing requester, txn and
+     * flags) use four; anything bigger fails to compile rather than
+     * silently heap-allocating.
+     */
+    using Callback = InplaceCallback<48>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -55,6 +68,14 @@ class EventQueue
 
     /** Current simulated tick. */
     Tick now() const { return now_; }
+
+    /**
+     * Pre-size the heap and pending set for @p expected_pending
+     * simultaneously-live events so steady-state scheduling never
+     * reallocates. A hint smaller than the real peak only costs the
+     * usual amortized growth; it never affects results.
+     */
+    void reserve(std::size_t expected_pending);
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
@@ -132,7 +153,7 @@ class EventQueue
      * Seqs scheduled but not yet executed or cancelled. A popped
      * heap entry whose seq is absent here was lazily cancelled.
      */
-    std::unordered_set<std::uint64_t> pending_ids_;
+    FlatSeqSet pending_ids_;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
     std::uint64_t live_ = 0;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Open-addressing hash set of nonzero 64-bit keys.
+ *
+ * std::unordered_set heap-allocates one node per insert, which put a
+ * malloc/free pair on the event queue's per-event hot path. This set
+ * stores keys in one flat power-of-two array (linear probing,
+ * backward-shift deletion, no tombstones): steady-state insert/erase
+ * touch no allocator at all, and reserve() pre-sizes the array so a
+ * run with a known event ceiling never rehashes mid-flight.
+ *
+ * Key 0 is reserved as the empty-slot sentinel; event sequence
+ * numbers start at 1, so the queue never needs it.
+ */
+
+#ifndef MGSEC_SIM_FLAT_SET_HH
+#define MGSEC_SIM_FLAT_SET_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mgsec
+{
+
+class FlatSeqSet
+{
+  public:
+    FlatSeqSet() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Grow so @p n keys fit without a rehash. */
+    void
+    reserve(std::size_t n)
+    {
+        // Stay under the 3/4 load factor insert() enforces.
+        std::size_t want = kMinSlots;
+        while (want * 3 < n * 4)
+            want <<= 1;
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    /** @return true when @p key was newly inserted. */
+    bool
+    insert(std::uint64_t key)
+    {
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+        std::size_t i = mix(key) & mask_;
+        while (slots_[i] != kEmpty) {
+            if (slots_[i] == key)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = key;
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        if (slots_.empty())
+            return false;
+        std::size_t i = mix(key) & mask_;
+        while (slots_[i] != kEmpty) {
+            if (slots_[i] == key)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** @return true when @p key was present and removed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        if (slots_.empty())
+            return false;
+        std::size_t i = mix(key) & mask_;
+        while (slots_[i] != key) {
+            if (slots_[i] == kEmpty)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        // Backward-shift deletion: pull every displaced key of the
+        // probe chain into the hole so lookups never need tombstones.
+        std::size_t hole = i;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            const std::uint64_t k = slots_[j];
+            if (k == kEmpty)
+                break;
+            const std::size_t ideal = mix(k) & mask_;
+            // Keys whose ideal slot lies cyclically in (hole, j]
+            // are already as close to home as they can get.
+            const bool home_between =
+                hole <= j ? (hole < ideal && ideal <= j)
+                          : (hole < ideal || ideal <= j);
+            if (home_between)
+                continue;
+            slots_[hole] = k;
+            hole = j;
+        }
+        slots_[hole] = kEmpty;
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        slots_.assign(slots_.size(), kEmpty);
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = 0;
+    static constexpr std::size_t kMinSlots = 64;
+
+    /** Murmur3/splitmix finalizer: spreads sequential seqs. */
+    static std::size_t
+    mix(std::uint64_t k)
+    {
+        k ^= k >> 33;
+        k *= 0xff51afd7ed558ccdULL;
+        k ^= k >> 33;
+        k *= 0xc4ceb9fe1a85ec53ULL;
+        k ^= k >> 33;
+        return static_cast<std::size_t>(k);
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(new_slots, kEmpty);
+        mask_ = new_slots - 1;
+        size_ = 0;
+        for (std::uint64_t k : old) {
+            if (k == kEmpty)
+                continue;
+            std::size_t i = mix(k) & mask_;
+            while (slots_[i] != kEmpty)
+                i = (i + 1) & mask_;
+            slots_[i] = k;
+            ++size_;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_FLAT_SET_HH

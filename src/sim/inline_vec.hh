@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Small-vector with inline storage for trivially copyable elements.
+ *
+ * Sized for the common case (e.g. a packet piggybacking at most two
+ * ACK records), it lives entirely inside its owner until the inline
+ * capacity overflows, and clear() keeps any spilled heap buffer so a
+ * pooled owner can be recycled without churning the allocator.
+ */
+
+#ifndef MGSEC_SIM_INLINE_VEC_HH
+#define MGSEC_SIM_INLINE_VEC_HH
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace mgsec
+{
+
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(N > 0, "inline capacity must be nonzero");
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_default_constructible_v<T>,
+                  "InlineVec is restricted to plain record types");
+
+  public:
+    InlineVec() = default;
+
+    InlineVec(const InlineVec &o) { assign(o.begin(), o.end()); }
+
+    InlineVec &
+    operator=(const InlineVec &o)
+    {
+        if (this != &o)
+            assign(o.begin(), o.end());
+        return *this;
+    }
+
+    InlineVec(InlineVec &&o) noexcept { stealFrom(o); }
+
+    InlineVec &
+    operator=(InlineVec &&o) noexcept
+    {
+        if (this != &o) {
+            delete[] heap_;
+            heap_ = nullptr;
+            cap_ = N;
+            stealFrom(o);
+        }
+        return *this;
+    }
+
+    ~InlineVec() { delete[] heap_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return cap_; }
+    bool spilled() const { return heap_ != nullptr; }
+
+    T *data() { return heap_ != nullptr ? heap_ : inline_; }
+    const T *data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &front() { return data()[0]; }
+    T &back() { return data()[size_ - 1]; }
+    const T &front() const { return data()[0]; }
+    const T &back() const { return data()[size_ - 1]; }
+
+    /** Drops the elements but keeps any spilled buffer. */
+    void clear() { size_ = 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            growTo(n);
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_)
+            growTo(cap_ * 2);
+        data()[size_++] = v;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        clear();
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+  private:
+    void
+    growTo(std::size_t new_cap)
+    {
+        T *fresh = new T[new_cap];
+        std::memcpy(static_cast<void *>(fresh), data(),
+                    size_ * sizeof(T));
+        delete[] heap_;
+        heap_ = fresh;
+        cap_ = new_cap;
+    }
+
+    void
+    stealFrom(InlineVec &o) noexcept
+    {
+        if (o.heap_ != nullptr) {
+            heap_ = std::exchange(o.heap_, nullptr);
+            cap_ = std::exchange(o.cap_, N);
+            size_ = std::exchange(o.size_, 0);
+        } else {
+            std::memcpy(static_cast<void *>(inline_), o.inline_,
+                        o.size_ * sizeof(T));
+            size_ = std::exchange(o.size_, 0);
+        }
+    }
+
+    T inline_[N]{};
+    T *heap_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_INLINE_VEC_HH

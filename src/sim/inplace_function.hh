@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A move-only callable holder with a fixed inline buffer and no heap
+ * fallback.
+ *
+ * std::function only small-buffer-optimizes captures up to two
+ * pointers, so event callbacks capturing a handful of fields heap
+ * allocate on every schedule(). InplaceCallback trades generality
+ * for a guarantee: a callable that does not fit the buffer is a
+ * compile error, so constructing one can never allocate. The event
+ * queue's steady-state schedule/execute cycle relies on this.
+ */
+
+#ifndef MGSEC_SIM_INPLACE_FUNCTION_HH
+#define MGSEC_SIM_INPLACE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mgsec
+{
+
+template <std::size_t Capacity>
+class InplaceCallback
+{
+  public:
+    InplaceCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceCallback>>>
+    InplaceCallback(F &&f) // NOLINT: intentionally implicit
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callback capture exceeds the inline buffer; "
+                      "shrink the capture or raise the capacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callback capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callback capture must be nothrow movable");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        ops_ = &kOps<Fn>;
+    }
+
+    InplaceCallback(InplaceCallback &&o) noexcept { moveFrom(o); }
+
+    InplaceCallback &
+    operator=(InplaceCallback &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InplaceCallback(const InplaceCallback &) = delete;
+    InplaceCallback &operator=(const InplaceCallback &) = delete;
+
+    ~InplaceCallback() { destroy(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src); ///< move + destroy src
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops kOps{
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    void
+    moveFrom(InplaceCallback &o) noexcept
+    {
+        ops_ = o.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_INPLACE_FUNCTION_HH

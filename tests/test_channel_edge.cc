@@ -35,7 +35,7 @@ struct Rig4
             ch.push_back(std::make_unique<SecureChannel>(
                 strformat("ch%u", n), eq, net, n, cfg));
             ch.back()->setDeliver([this, n](PacketPtr p) {
-                delivered[n].push_back(*p);
+                delivered[n].push_back(std::move(*p));
             });
         }
     }
@@ -43,7 +43,7 @@ struct Rig4
     void
     send(NodeId src, NodeId dst, PacketType type)
     {
-        auto p = std::make_unique<Packet>();
+        auto p = makePacket();
         p->type = type;
         p->src = src;
         p->dst = dst;

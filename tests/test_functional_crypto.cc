@@ -43,7 +43,7 @@ struct Rig
             ch.push_back(std::make_unique<SecureChannel>(
                 strformat("ch%u", n), eq, net, n, cfg));
             ch.back()->setDeliver([this, n](PacketPtr p) {
-                delivered[n].push_back(*p);
+                delivered[n].push_back(std::move(*p));
             });
         }
     }
@@ -52,7 +52,7 @@ struct Rig
     sendData(NodeId src, NodeId dst, int count)
     {
         for (int i = 0; i < count; ++i) {
-            auto p = std::make_unique<Packet>();
+            auto p = makePacket();
             p->type = PacketType::ReadResp;
             p->src = src;
             p->dst = dst;
@@ -248,7 +248,7 @@ TEST(FunctionalCrypto, MismatchedSessionKeysFailEverything)
         c->setDeliver([](PacketPtr) {});
 
     for (int i = 0; i < 5; ++i) {
-        auto p = std::make_unique<Packet>();
+        auto p = makePacket();
         p->type = PacketType::ReadResp;
         p->src = 1;
         p->dst = 2;

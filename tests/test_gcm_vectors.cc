@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "crypto/gcm.hh"
+#include "crypto/ghash.hh"
 #include "workload/source.hh"
 
 using namespace mgsec;
@@ -115,6 +118,125 @@ TEST_P(GcmCrossValidated, OpenAcceptsReferenceAndRejectsTamper)
 
 INSTANTIATE_TEST_SUITE_P(Vectors, GcmCrossValidated,
                          ::testing::Values(0, 1, 2));
+
+// ------------------------------- table GHASH vs. bit-serial oracle
+
+namespace
+{
+
+/** GHASH of a byte string using only the bit-serial reference. */
+Block
+referenceGhash(const Block &h, const std::uint8_t *data,
+               std::size_t len)
+{
+    const U128 hw = blockToU128(h);
+    U128 y{};
+    for (std::size_t off = 0; off < len; off += 16) {
+        Block blk{};
+        std::memcpy(blk.data(), data + off,
+                    std::min<std::size_t>(16, len - off));
+        const U128 x = blockToU128(blk);
+        y.hi ^= x.hi;
+        y.lo ^= x.lo;
+        y = gfmul(y, hw);
+    }
+    return u128ToBlock(y);
+}
+
+Block
+randomBlock(std::mt19937_64 &rng)
+{
+    Block b;
+    for (auto &x : b)
+        x = static_cast<std::uint8_t>(rng());
+    return b;
+}
+
+} // anonymous namespace
+
+TEST(GhashTable, MulMatchesGfmulOnRandomOperands)
+{
+    std::mt19937_64 rng(0x6d677365u);
+    for (int i = 0; i < 256; ++i) {
+        const Block h = randomBlock(rng);
+        const GhashKey key(h);
+        const U128 x{rng(), rng()};
+        EXPECT_EQ(key.mul(x), gfmul(x, blockToU128(h)))
+            << "iteration " << i;
+    }
+}
+
+TEST(GhashTable, MulEdgeOperands)
+{
+    std::mt19937_64 rng(7);
+    const Block h = randomBlock(rng);
+    const GhashKey key(h);
+    const U128 edges[] = {
+        {0, 0},                  // zero
+        {1ULL << 63, 0},         // x^0 (GCM bit order: MSB of hi)
+        {0, 1},                  // x^127
+        {~0ULL, ~0ULL},          // all ones
+    };
+    for (const U128 &x : edges)
+        EXPECT_EQ(key.mul(x), gfmul(x, blockToU128(h)));
+    // x^0 * H = H.
+    EXPECT_EQ(key.mul(U128{1ULL << 63, 0}), blockToU128(h));
+}
+
+TEST(GhashTable, StreamMatchesReferenceAtAllLengthsUpTo64)
+{
+    // Every input length 0..64 covers the empty string, partial
+    // blocks, exact multiples, and spans crossing block boundaries.
+    std::mt19937_64 rng(0xA5A5);
+    for (std::size_t len = 0; len <= 64; ++len) {
+        const Block h = randomBlock(rng);
+        std::vector<std::uint8_t> data(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng());
+
+        Ghash gh(h);
+        gh.updateBytes(data.data(), data.size());
+        EXPECT_EQ(gh.digest(),
+                  referenceGhash(h, data.data(), data.size()))
+            << "length " << len;
+    }
+}
+
+TEST(GhashTable, RandomizedLongInputsMatchReference)
+{
+    std::mt19937_64 rng(0xC0FFEE);
+    std::uniform_int_distribution<std::size_t> len_dist(0, 4096);
+    for (int i = 0; i < 32; ++i) {
+        const Block h = randomBlock(rng);
+        std::vector<std::uint8_t> data(len_dist(rng));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng());
+
+        Ghash gh(h);
+        gh.updateBytes(data.data(), data.size());
+        EXPECT_EQ(gh.digest(),
+                  referenceGhash(h, data.data(), data.size()))
+            << "iteration " << i << " length " << data.size();
+    }
+}
+
+TEST(GhashTable, SharedKeyTablesMatchFreshOnes)
+{
+    // A Ghash seeded from precomputed tables (the PadFactory path)
+    // must agree with one that builds tables from H on the spot.
+    std::mt19937_64 rng(99);
+    const Block h = randomBlock(rng);
+    const GhashKey key(h);
+    std::vector<std::uint8_t> data(100);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng());
+
+    Ghash fresh(h);
+    Ghash shared(key);
+    fresh.updateBytes(data.data(), data.size());
+    shared.updateBytes(data.data(), data.size());
+    EXPECT_EQ(fresh.digest(), shared.digest());
+}
 
 // ------------------------------------------- RPKI intensity ordering
 

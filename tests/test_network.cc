@@ -21,7 +21,7 @@ PacketPtr
 makePkt(NodeId src, NodeId dst, Bytes header, Bytes payload,
         Bytes meta = 0, Bytes ack = 0)
 {
-    auto p = std::make_unique<Packet>();
+    auto p = makePacket();
     p->src = src;
     p->dst = dst;
     p->headerBytes = header;

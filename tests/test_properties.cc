@@ -83,7 +83,7 @@ TEST_P(NetworkConservation, EverySentPacketArrivesExactlyOnce)
     const int kPackets = 500;
     Bytes sent_bytes = 0;
     for (int i = 0; i < kPackets; ++i) {
-        auto p = std::make_unique<Packet>();
+        auto p = makePacket();
         p->src = static_cast<NodeId>(rng() % 5);
         do {
             p->dst = static_cast<NodeId>(rng() % 5);

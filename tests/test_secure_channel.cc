@@ -36,7 +36,7 @@ struct Rig
             ch.push_back(std::make_unique<SecureChannel>(
                 strformat("ch%u", n), eq, net, n, cfg));
             ch.back()->setDeliver([this, n](PacketPtr p) {
-                delivered[n].push_back(*p);
+                delivered[n].push_back(std::move(*p));
             });
         }
     }
@@ -44,7 +44,7 @@ struct Rig
     PacketPtr
     dataPkt(NodeId src, NodeId dst, PacketType type)
     {
-        auto p = std::make_unique<Packet>();
+        auto p = makePacket();
         p->type = type;
         p->src = src;
         p->dst = dst;
