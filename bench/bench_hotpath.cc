@@ -327,10 +327,80 @@ benchEndToEnd(double scale, bool quick)
     return r;
 }
 
+// --------------------------------------------------------------------
+// Observability: end-to-end with trace + metrics on vs. off, plus a
+// proof that compiled-in-but-disabled hooks stay allocation-free.
+// --------------------------------------------------------------------
+
+struct ObserveResult
+{
+    double wallSecOff = 0.0;
+    double wallSecOn = 0.0;
+    double overheadPct = 0.0;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t metricSamples = 0;
+    std::uint64_t freshAfterTrace = 0;
+};
+
+/** Swallows trace bytes so only event formatting is measured. */
+struct NullBuf : std::streambuf
+{
+    int
+    overflow(int c) override
+    {
+        return c;
+    }
+
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
+
+ObserveResult
+benchObserve(double scale, bool quick)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = OtpScheme::Dynamic;
+    cfg.batching = true;
+    cfg.scale = quick ? scale * 0.5 : scale;
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+
+    ObserveResult r;
+    {
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        const auto t0 = Clock::now();
+        sys.run();
+        r.wallSecOff = secondsSince(t0);
+    }
+    {
+        NullBuf nb;
+        std::ostream null_os(&nb);
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        sys.enableTrace(null_os);
+        sys.enableMetrics(1000, 4096);
+        const auto t0 = Clock::now();
+        sys.run();
+        r.wallSecOn = secondsSince(t0);
+        r.traceEvents = sys.traceSink()->events();
+        r.metricSamples = sys.metrics()->samples();
+    }
+    r.overheadPct = (r.wallSecOn / r.wallSecOff - 1.0) * 100.0;
+
+    // With the sinks gone, the hooks must again cost exactly one
+    // null test: a warm churn may not touch the allocator.
+    PacketPool::resetStats();
+    packetChurn(quick ? 25'000 : 200'000);
+    r.freshAfterTrace = PacketPool::stats().freshPackets;
+    return r;
+}
+
 void
 writeJson(const std::string &path, const GhashResult &gh,
           const EventQueueResult &eq, const PacketPoolResult &pp,
-          const EndToEndResult &e2e)
+          const EndToEndResult &e2e, const ObserveResult &obs)
 {
     std::ofstream os(path);
     if (!os) {
@@ -370,6 +440,15 @@ writeJson(const std::string &path, const GhashResult &gh,
     w.field("cyclesPerSec", e2e.cyclesPerSec);
     w.field("eventsPerSec", e2e.eventsPerSec);
     w.field("packetsPerSec", e2e.packetsPerSec);
+    w.endObject();
+
+    w.key("observe").beginObject();
+    w.field("wallSecOff", obs.wallSecOff);
+    w.field("wallSecOn", obs.wallSecOn);
+    w.field("overheadPct", obs.overheadPct);
+    w.field("traceEvents", obs.traceEvents);
+    w.field("metricSamples", obs.metricSamples);
+    w.field("freshAfterTrace", obs.freshAfterTrace);
     w.endObject();
 
     w.endObject();
@@ -415,8 +494,21 @@ main(int argc, char **argv)
                 e2e.cyclesPerSec / 1e6, e2e.eventsPerSec / 1e6,
                 e2e.packetsPerSec / 1e3);
 
+    const ObserveResult obs = benchObserve(args.scale, args.quick);
+    std::printf("observe     %.2f s off   %.2f s on   overhead "
+                "%+.1f%%   %llu trace events   %llu samples\n",
+                obs.wallSecOff, obs.wallSecOn, obs.overheadPct,
+                static_cast<unsigned long long>(obs.traceEvents),
+                static_cast<unsigned long long>(obs.metricSamples));
+    if (obs.freshAfterTrace != 0) {
+        std::printf("  WARNING: %llu fresh allocations in a warm "
+                    "churn after tracing (expected 0)\n",
+                    static_cast<unsigned long long>(
+                        obs.freshAfterTrace));
+    }
+
     if (!args.json.empty()) {
-        writeJson(args.json, gh, eq, pp, e2e);
+        writeJson(args.json, gh, eq, pp, e2e, obs);
         std::cout << "\nwrote " << args.json << "\n";
     }
 

@@ -29,7 +29,37 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.cpu.memProtect.enabled = cfg.hostMemProtect < 0
                                      ? cfg.scheme != OtpScheme::Unsecure
                                      : cfg.hostMemProtect != 0;
+    sys.observe = cfg.observe;
     return sys;
+}
+
+std::string
+configKey(const std::string &workload, const ExperimentConfig &cfg)
+{
+    return strformat(
+        "%s|gpus=%u|scheme=%s|batch=%d/%u|otp=%ux|aes=%u|meta=%d|"
+        "scale=%g|seed=%llu|comm=%u|dyn=%u/%g/%g/%u/%u|memprot=%d|"
+        "strong=%d",
+        workload.c_str(), cfg.numGpus, otpSchemeName(cfg.scheme),
+        cfg.batching ? 1 : 0, cfg.batchSize, cfg.otpMult,
+        cfg.aesLatency, cfg.countMetadataBytes ? 1 : 0, cfg.scale,
+        static_cast<unsigned long long>(cfg.seed),
+        cfg.commSampleInterval, cfg.dynParams.interval,
+        cfg.dynParams.alpha, cfg.dynParams.beta,
+        cfg.dynParams.confidenceDir, cfg.dynParams.confidencePeer,
+        cfg.hostMemProtect, cfg.strongScaling ? 1 : 0);
+}
+
+std::string
+configHash(const std::string &workload, const ExperimentConfig &cfg)
+{
+    const std::string key = configKey(workload, cfg);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return strformat("%016llx", static_cast<unsigned long long>(h));
 }
 
 RunResult

@@ -51,10 +51,28 @@ struct ExperimentConfig
      * count (Sec. V-D), so per-GPU work shrinks as 4/numGpus.
      */
     bool strongScaling = true;
+
+    /**
+     * Observability sinks for this run (file paths; all empty =
+     * disabled). Never part of a config's identity hash.
+     */
+    ObserveConfig observe{};
 };
 
 /** Expand an ExperimentConfig into a full SystemConfig. */
 SystemConfig makeSystemConfig(const ExperimentConfig &cfg);
+
+/**
+ * Stable textual identity of one (workload, config) run: every knob
+ * that can change simulated results, none that cannot (observe
+ * paths, expectedEvents). Used to tag per-job observability files.
+ */
+std::string configKey(const std::string &workload,
+                      const ExperimentConfig &cfg);
+
+/** FNV-1a 64-bit hash of configKey(), as 16 hex digits. */
+std::string configHash(const std::string &workload,
+                       const ExperimentConfig &cfg);
 
 /** Simulate one workload under one configuration. */
 RunResult runWorkload(const std::string &workload,

@@ -3,130 +3,8 @@
 #include <ostream>
 #include <sstream>
 
-#include "sim/logging.hh"
-
 namespace mgsec
 {
-
-void
-JsonWriter::separate()
-{
-    if (!has_elem_.empty() && has_elem_.back() == '1' && !pending_key_)
-        os_ << ",";
-    if (!has_elem_.empty())
-        has_elem_.back() = '1';
-}
-
-std::string
-JsonWriter::escape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-JsonWriter &
-JsonWriter::beginObject()
-{
-    separate();
-    pending_key_ = false;
-    os_ << "{";
-    has_elem_.push_back('0');
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::endObject()
-{
-    MGSEC_ASSERT(!has_elem_.empty(), "unbalanced endObject");
-    has_elem_.pop_back();
-    os_ << "}";
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::beginArray(const std::string &k)
-{
-    if (!k.empty())
-        key(k);
-    separate();
-    pending_key_ = false;
-    os_ << "[";
-    has_elem_.push_back('0');
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::endArray()
-{
-    MGSEC_ASSERT(!has_elem_.empty(), "unbalanced endArray");
-    has_elem_.pop_back();
-    os_ << "]";
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::key(const std::string &k)
-{
-    separate();
-    os_ << "\"" << escape(k) << "\":";
-    pending_key_ = true;
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::value(double v)
-{
-    separate();
-    pending_key_ = false;
-    os_ << v;
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::value(std::uint64_t v)
-{
-    separate();
-    pending_key_ = false;
-    os_ << v;
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::value(const std::string &v)
-{
-    separate();
-    pending_key_ = false;
-    os_ << "\"" << escape(v) << "\"";
-    return *this;
-}
-
-JsonWriter &
-JsonWriter::value(bool v)
-{
-    separate();
-    pending_key_ = false;
-    os_ << (v ? "true" : "false");
-    return *this;
-}
 
 namespace
 {

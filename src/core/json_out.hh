@@ -13,45 +13,10 @@
 #include <string>
 
 #include "core/system.hh"
+#include "sim/json_writer.hh"
 
 namespace mgsec
 {
-
-/** Minimal JSON writer: objects, arrays, scalars, strings. */
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
-
-    JsonWriter &beginObject();
-    JsonWriter &endObject();
-    JsonWriter &beginArray(const std::string &key = "");
-    JsonWriter &endArray();
-
-    JsonWriter &key(const std::string &k);
-    JsonWriter &value(double v);
-    JsonWriter &value(std::uint64_t v);
-    JsonWriter &value(const std::string &v);
-    JsonWriter &value(bool v);
-
-    /** key + value in one call. */
-    template <typename T>
-    JsonWriter &
-    field(const std::string &k, const T &v)
-    {
-        key(k);
-        return value(v);
-    }
-
-  private:
-    void separate();
-    static std::string escape(const std::string &s);
-
-    std::ostream &os_;
-    /** Whether the current nesting level already has an element. */
-    std::string has_elem_; // one char per depth: '0' or '1'
-    bool pending_key_ = false;
-};
 
 /**
  * Serialize a run result:

@@ -163,7 +163,23 @@ RunOptions::set(const std::string &key, const std::string &value)
         traceRecord = value;
     } else if (key == "trace-play") {
         tracePlay = value;
+    } else if (key == "metrics-out") {
+        exp.observe.metricsOut = value;
+    } else if (key == "trace-out") {
+        exp.observe.traceOut = value;
+    } else if (key == "stats-json") {
+        exp.observe.statsJsonOut = value;
+    } else if (key == "metrics-interval") {
+        if ((ok = parseNumber(value, 1ULL, UINT64_MAX, u)))
+            exp.observe.metricsInterval = u;
+    } else if (key == "metrics-ring") {
+        if ((ok = parseNumber(value, 1ULL, 1ULL << 24, u)))
+            exp.observe.metricsRing = static_cast<std::uint32_t>(u);
     } else if (key == "debug") {
+        if (value == "help") {
+            debug::listFlags(std::cout);
+            std::exit(0);
+        }
         ok = debug::DebugFlag::enableByName(value);
     } else {
         std::cerr << "unknown option '" << key << "'\n";
@@ -260,8 +276,17 @@ RunOptions::usage(std::ostream &os)
           "  --json-out FILE        write the result as JSON\n"
           "  --trace-record PREFIX  write <prefix>.gpuN.trace files\n"
           "  --trace-play FILE      replay GPU 1 from a trace file\n"
+          "  --metrics-out FILE     write sampled time-series "
+          "metrics as JSON\n"
+          "  --trace-out FILE       write a Chrome trace_event "
+          "timeline (Perfetto)\n"
+          "  --stats-json FILE      dump component stats as JSON\n"
+          "  --metrics-interval C   cycles between metric samples "
+          "(default 1000)\n"
+          "  --metrics-ring N       metric rows kept before dropping "
+          "(default 4096)\n"
           "  --debug FLAGS          enable trace flags "
-          "(Channel,PadTable,Node,Batch or All)\n"
+          "('help' lists them)\n"
           "  --config FILE          read 'key = value' lines first\n";
 }
 

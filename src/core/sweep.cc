@@ -3,12 +3,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <set>
 #include <utility>
 
 #include "core/job_pool.hh"
 #include "core/options.hh"
 #include "sim/debug.hh"
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace mgsec
@@ -34,6 +38,13 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
            << gpus << ")\n";
     if (acceptJson)
         os << "  --json F   also write the results as JSON to F\n";
+    if (acceptObserve)
+        os << "  --observe DIR  write per-job METRICS_/TRACE_/STATS_ "
+           << "JSON files\n"
+           << "             (tagged by config hash) plus an "
+           << "OBSERVE_INDEX.json into DIR\n";
+    os << "  --debug FLAGS  enable trace flags ('help' lists "
+       << "them)\n";
 }
 
 void
@@ -79,6 +90,17 @@ SweepArgs::parseArgs(int argc, char **argv)
             gpus = static_cast<std::uint32_t>(v);
         } else if (acceptJson && std::strcmp(arg, "--json") == 0) {
             jsonOut = value(i);
+        } else if (acceptObserve &&
+                   std::strcmp(arg, "--observe") == 0) {
+            observeDir = value(i);
+        } else if (std::strcmp(arg, "--debug") == 0) {
+            const char *flags = value(i);
+            if (std::strcmp(flags, "help") == 0) {
+                debug::listFlags(std::cout);
+                std::exit(0);
+            }
+            if (!debug::DebugFlag::enableByName(flags))
+                die("bad --debug value '%s'", argv[i]);
         } else {
             die("unknown flag '%s'", arg);
         }
@@ -122,13 +144,32 @@ baselineKey(const std::string &workload, const ExperimentConfig &cfg)
 
 Sweep::Sweep(const SweepArgs &args)
     : Sweep(args.scale, args.seeds, args.jobs)
-{}
+{
+    if (!args.observeDir.empty())
+        setObservability(args.observeDir);
+}
 
 Sweep::Sweep(double scale, int seeds, unsigned jobs)
     : scale_(scale), seeds_(seeds), jobs_(jobs)
 {
     MGSEC_ASSERT(scale_ > 0.0, "non-positive sweep scale");
     MGSEC_ASSERT(seeds_ >= 1, "sweep needs at least one seed");
+}
+
+void
+Sweep::setObservability(const std::string &dir, Cycles interval)
+{
+    MGSEC_ASSERT(!ran_, "Sweep::setObservability after run()");
+    MGSEC_ASSERT(!dir.empty(), "empty observability directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create observability directory '%s': %s",
+             dir.c_str(), ec.message().c_str());
+        return;
+    }
+    observe_dir_ = dir;
+    observe_interval_ = interval;
 }
 
 std::size_t
@@ -173,6 +214,37 @@ Sweep::run()
 
     JobPool pool(jobs);
 
+    // With an observability directory set, each distinct
+    // configuration writes sinks tagged by its config hash, so
+    // parallel jobs never share a file name. A duplicate submission
+    // (the same config queued twice) keeps only the first writer.
+    struct IndexEntry
+    {
+        std::string hash;
+        std::string key;
+    };
+    std::vector<IndexEntry> observe_index;
+    std::set<std::string> observe_seen;
+    auto withObserve = [&](const std::string &workload,
+                           ExperimentConfig cfg) {
+        if (observe_dir_.empty())
+            return cfg;
+        const std::string h = configHash(workload, cfg);
+        if (!observe_seen.insert(h).second) {
+            cfg.observe = ObserveConfig{};
+            return cfg;
+        }
+        cfg.observe.metricsOut =
+            observe_dir_ + "/METRICS_" + h + ".json";
+        cfg.observe.traceOut = observe_dir_ + "/TRACE_" + h + ".json";
+        cfg.observe.statsJsonOut =
+            observe_dir_ + "/STATS_" + h + ".json";
+        cfg.observe.metricsInterval = observe_interval_;
+        observe_index.push_back(
+            IndexEntry{h, configKey(workload, cfg)});
+        return cfg;
+    };
+
     // Submit in deterministic (handle, seed) order. Baselines are
     // memoized as shared futures so every normalized request of the
     // same (workload, gpus, scale, seed) reuses one simulation.
@@ -194,23 +266,27 @@ Sweep::run()
             auto it = baselines.find(key);
             if (it == baselines.end()) {
                 it = baselines
-                         .emplace(key, pool.submit(req.workload, base)
-                                           .share())
+                         .emplace(key,
+                                  pool.submit(req.workload,
+                                              withObserve(
+                                                  req.workload, base))
+                                      .share())
                          .first;
                 ++baseline_runs_;
             } else {
                 ++baseline_hits_;
             }
             norm_futs[i].base.push_back(it->second);
-            norm_futs[i].secure.push_back(
-                pool.submit(req.workload, cfg));
+            norm_futs[i].secure.push_back(pool.submit(
+                req.workload, withObserve(req.workload, cfg)));
         }
     }
 
     std::vector<std::future<RunResult>> raw_futs;
     raw_futs.reserve(raw_.size());
     for (RawRequest &req : raw_)
-        raw_futs.push_back(pool.submit(req.workload, req.cfg));
+        raw_futs.push_back(pool.submit(
+            req.workload, withObserve(req.workload, req.cfg)));
 
     // Harvest in submission order; the reduction below is the exact
     // arithmetic of the historical serial runNormalized() loop, so
@@ -229,6 +305,31 @@ Sweep::run()
     }
     for (std::size_t i = 0; i < raw_.size(); ++i)
         raw_[i].result = raw_futs[i].get();
+
+    if (!observe_dir_.empty()) {
+        const std::string path =
+            observe_dir_ + "/OBSERVE_INDEX.json";
+        std::ofstream os(path);
+        if (!os) {
+            warn("cannot write '%s'", path.c_str());
+            return;
+        }
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("interval", static_cast<std::uint64_t>(
+                                observe_interval_));
+        w.key("runs");
+        w.beginArray();
+        for (const IndexEntry &e : observe_index) {
+            w.beginObject();
+            w.field("hash", e.hash);
+            w.field("key", e.key);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
 }
 
 const NormResult &

@@ -42,9 +42,11 @@ struct SweepArgs
 
     std::uint32_t gpus = 4; ///< parsed only when acceptGpus
     std::string jsonOut;    ///< parsed only when acceptJson
+    std::string observeDir; ///< parsed only when acceptObserve
 
     bool acceptGpus = false;
     bool acceptJson = false;
+    bool acceptObserve = false;
 
     /**
      * Parse argv into *this (current members are the defaults).
@@ -95,6 +97,18 @@ class Sweep
     std::size_t addRaw(const std::string &workload,
                        ExperimentConfig cfg);
 
+    /**
+     * Write per-job observability files into @p dir (created if
+     * missing): METRICS_<hash>.json, TRACE_<hash>.json and
+     * STATS_<hash>.json per distinct configuration, where <hash> is
+     * configHash(workload, cfg), plus an OBSERVE_INDEX.json manifest
+     * mapping each hash back to its configKey(). Hash-tagged names
+     * keep parallel jobs from ever clobbering each other's files.
+     * Call before run().
+     */
+    void setObservability(const std::string &dir,
+                          Cycles interval = 1000);
+
     /** Execute everything queued; blocks until all results are in. */
     void run();
 
@@ -128,6 +142,9 @@ class Sweep
     unsigned jobs_;
     unsigned resolved_jobs_ = 0;
     bool ran_ = false;
+
+    std::string observe_dir_;
+    Cycles observe_interval_ = 1000;
 
     std::vector<NormRequest> norm_;
     std::vector<RawRequest> raw_;

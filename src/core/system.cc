@@ -1,8 +1,10 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace mgsec
@@ -121,9 +123,204 @@ MultiGpuSystem::dumpStats(std::ostream &os) const
     }
 }
 
+void
+MultiGpuSystem::dumpStatsJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    net_->statGroup().dumpJson(w);
+    pt_->statGroup().dumpJson(w);
+    for (const auto &n : nodes_) {
+        n->statGroup().dumpJson(w);
+        n->channel().statGroup().dumpJson(w);
+        if (const PadTable *padt = n->channel().padTable())
+            padt->statGroup().dumpJson(w);
+        n->l2().statGroup().dumpJson(w);
+        n->memory().statGroup().dumpJson(w);
+        const_cast<Node &>(*n).l2Tlb().statGroup().dumpJson(w);
+    }
+    w.endObject();
+    os << "\n";
+}
+
+void
+MultiGpuSystem::resetStats()
+{
+    net_->statGroup().resetAll();
+    pt_->statGroup().resetAll();
+    for (auto &n : nodes_) {
+        n->statGroup().resetAll();
+        n->channel().statGroup().resetAll();
+        if (PadTable *padt = n->channel().padTable())
+            padt->statGroup().resetAll();
+        n->l2().statGroup().resetAll();
+        n->memory().statGroup().resetAll();
+        n->l2Tlb().statGroup().resetAll();
+    }
+}
+
+void
+MultiGpuSystem::enableTrace(std::ostream &os)
+{
+    MGSEC_ASSERT(!trace_, "trace sink already attached");
+    trace_ = std::make_unique<TraceSink>(os);
+    eq_.setTraceSink(trace_.get());
+}
+
+void
+MultiGpuSystem::enableMetrics(Cycles interval, std::size_t capacity)
+{
+    MGSEC_ASSERT(!sampler_, "metric sampler already attached");
+    sampler_ = std::make_unique<MetricSampler>(
+        eq_, interval, capacity,
+        [this]() { return done_gpus_ < cfg_.numGpus; });
+    MetricSampler &ms = *sampler_;
+
+    ms.addGauge("eq.pending", [this](Tick) {
+        return static_cast<double>(eq_.pending());
+    });
+    ms.addGauge("net.inFlight", [this](Tick) {
+        return static_cast<double>(net_->inFlight());
+    });
+
+    for (auto &nptr : nodes_) {
+        Node &n = *nptr;
+        const std::string nm = n.name();
+        SecureChannel &ch = n.channel();
+
+        ms.addGauge(nm + ".replay.outstanding", [&ch](Tick) {
+            return static_cast<double>(
+                ch.replayWindow().outstandingTotal());
+        });
+
+        if (const PadTable *ptab = ch.padTable()) {
+            // Pad-buffer occupancy per (pair, direction): the quota
+            // the pair owns and how many of those pads exist now.
+            for (NodeId p = 0; p < cfg_.numNodes(); ++p) {
+                if (p == n.nodeId())
+                    continue;
+                const std::string peer = nodes_[p]->name();
+                for (Direction d :
+                     {Direction::Send, Direction::Recv}) {
+                    const std::string base = nm + ".pads." +
+                        directionName(d) + "." + peer;
+                    ms.addGauge(base + ".quota", [ptab, p, d](Tick) {
+                        return static_cast<double>(
+                            ptab->padQuota(p, d));
+                    });
+                    ms.addGauge(base + ".ready",
+                                [ptab, p, d](Tick t) {
+                        return static_cast<double>(
+                            ptab->padsReady(p, d, t));
+                    });
+                }
+            }
+            if (const auto *dyn =
+                    dynamic_cast<const DynamicPadTable *>(ptab)) {
+                ms.addGauge(nm + ".ewma.S", [dyn](Tick) {
+                    return dyn->sendWeight();
+                });
+                for (NodeId p = 0; p < cfg_.numNodes(); ++p) {
+                    if (p == n.nodeId())
+                        continue;
+                    const std::string peer = nodes_[p]->name();
+                    for (Direction d :
+                         {Direction::Send, Direction::Recv}) {
+                        ms.addGauge(nm + ".ewma." +
+                                        directionName(d) + "." + peer,
+                                    [dyn, p, d](Tick) {
+                            return dyn->peerWeight(p, d);
+                        });
+                    }
+                }
+            }
+        }
+
+        if (const BatchAssembler *ba = ch.assembler()) {
+            ms.addGauge(nm + ".batch.open", [ba](Tick) {
+                return static_cast<double>(ba->openCount());
+            });
+            ms.addGauge(nm + ".batch.fill", [ba](Tick) {
+                return static_cast<double>(ba->fillTotal());
+            });
+        }
+        if (const MsgMacStorage *mss = ch.macStorage()) {
+            ms.addGauge(nm + ".macstore.parked", [mss](Tick) {
+                return static_cast<double>(mss->occupancyTotal());
+            });
+        }
+    }
+
+    // One column per Scalar stat of the traffic- and security-
+    // critical groups (cache/memory scalars stay in the stats dump).
+    ms.addScalars(net_->statGroup());
+    for (auto &n : nodes_) {
+        ms.addScalars(n->statGroup());
+        ms.addScalars(n->channel().statGroup());
+        if (const PadTable *ptab = n->channel().padTable())
+            ms.addScalars(ptab->statGroup());
+    }
+}
+
+void
+MultiGpuSystem::writeMetricsJson(std::ostream &os) const
+{
+    MGSEC_ASSERT(sampler_ != nullptr, "metrics were never enabled");
+    sampler_->writeJson(os);
+}
+
+void
+MultiGpuSystem::openObservability()
+{
+    if (!cfg_.observe.traceOut.empty() && !trace_) {
+        trace_file_ =
+            std::make_unique<std::ofstream>(cfg_.observe.traceOut);
+        if (!*trace_file_) {
+            warn("cannot open trace output '%s'",
+                 cfg_.observe.traceOut.c_str());
+            trace_file_.reset();
+        } else {
+            enableTrace(*trace_file_);
+        }
+    }
+    if (!cfg_.observe.metricsOut.empty() && !sampler_)
+        enableMetrics(cfg_.observe.metricsInterval,
+                      cfg_.observe.metricsRing);
+}
+
+void
+MultiGpuSystem::flushObservability()
+{
+    if (sampler_) {
+        // Final snapshot so short runs and run tails are captured.
+        sampler_->sampleNow();
+        if (!cfg_.observe.metricsOut.empty()) {
+            std::ofstream f(cfg_.observe.metricsOut);
+            if (!f) {
+                warn("cannot open metrics output '%s'",
+                     cfg_.observe.metricsOut.c_str());
+            } else {
+                sampler_->writeJson(f);
+            }
+        }
+    }
+    if (trace_)
+        trace_->finish();
+    if (!cfg_.observe.statsJsonOut.empty()) {
+        std::ofstream f(cfg_.observe.statsJsonOut);
+        if (!f) {
+            warn("cannot open stats output '%s'",
+                 cfg_.observe.statsJsonOut.c_str());
+        } else {
+            dumpStatsJson(f);
+        }
+    }
+}
+
 RunResult
 MultiGpuSystem::run()
 {
+    openObservability();
     for (auto &n : nodes_)
         n->start();
     if (cfg_.commSampleInterval > 0) {
@@ -131,11 +328,14 @@ MultiGpuSystem::run()
             sampleComm();
         });
     }
+    if (sampler_)
+        sampler_->start();
 
     while (done_gpus_ < cfg_.numGpus && eq_.now() <= cfg_.maxCycles) {
         if (!eq_.runOne())
             break;
     }
+    flushObservability();
 
     RunResult r;
     r.workload = profile_.name;

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <deque>
+#include <fstream>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -20,10 +21,38 @@
 #include "net/network.hh"
 #include "secure/security_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/metric_sampler.hh"
+#include "sim/trace_sink.hh"
 #include "workload/profile.hh"
 
 namespace mgsec
 {
+
+/**
+ * Observability sinks for one run. Empty paths disable a sink; with
+ * every sink disabled the only run-time cost is one null-pointer
+ * test per trace hook (the zero-allocation hot path is untouched).
+ */
+struct ObserveConfig
+{
+    /** METRICS time-series JSON (MetricSampler ring flush). */
+    std::string metricsOut;
+    /** Chrome trace_event JSON (chrome://tracing / Perfetto). */
+    std::string traceOut;
+    /** Full stats dump as one JSON object. */
+    std::string statsJsonOut;
+    /** Cycles between metric samples. */
+    Cycles metricsInterval = 1000;
+    /** Metric ring rows kept (oldest rows drop beyond this). */
+    std::uint32_t metricsRing = 4096;
+
+    bool
+    any() const
+    {
+        return !metricsOut.empty() || !traceOut.empty() ||
+               !statsJsonOut.empty();
+    }
+};
 
 struct SystemConfig
 {
@@ -75,6 +104,9 @@ struct SystemConfig
     std::uint64_t expectedEvents = 0;
     /** >0: sample GPU 1's communication mix every N cycles. */
     Cycles commSampleInterval = 0;
+
+    /** Observability sinks (all disabled by default). */
+    ObserveConfig observe{};
 
     std::uint32_t numNodes() const { return numGpus + 1; }
 };
@@ -132,6 +164,32 @@ class MultiGpuSystem
     /** Dump every component's statistics ("component.stat value"). */
     void dumpStats(std::ostream &os) const;
 
+    /** Dump every component's statistics as one JSON object. */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /** Zero every registered stat (explicit per-job collection). */
+    void resetStats();
+
+    /**
+     * Attach a Chrome-trace sink writing to @p os. Call before
+     * run(); the stream must outlive the system.
+     */
+    void enableTrace(std::ostream &os);
+
+    /**
+     * Register the standard gauge set (pad occupancy per (pair,
+     * direction), EWMA weights, batch fill, replay span, in-flight
+     * packets, every Scalar stat) on a fresh sampler. Sampling
+     * starts inside run().
+     */
+    void enableMetrics(Cycles interval, std::size_t capacity);
+
+    /** Flush collected metric samples as JSON. */
+    void writeMetricsJson(std::ostream &os) const;
+
+    const TraceSink *traceSink() const { return trace_.get(); }
+    const MetricSampler *metrics() const { return sampler_.get(); }
+
     EventQueue &eventq() { return eq_; }
     Network &network() { return *net_; }
     PageTable &pageTable() { return *pt_; }
@@ -141,6 +199,10 @@ class MultiGpuSystem
   private:
     void recordBlock(NodeId src, NodeId dst, Tick t);
     void sampleComm();
+    /** Open the file-backed sinks cfg_.observe asks for. */
+    void openObservability();
+    /** Flush and close them at the end of run(). */
+    void flushObservability();
 
     SystemConfig cfg_;
     WorkloadProfile profile_;
@@ -148,6 +210,11 @@ class MultiGpuSystem
     std::unique_ptr<Network> net_;
     std::unique_ptr<PageTable> pt_;
     std::vector<std::unique_ptr<Node>> nodes_;
+
+    std::unique_ptr<TraceSink> trace_;
+    std::unique_ptr<MetricSampler> sampler_;
+    /** Keeps a --trace-out file stream alive for the sink. */
+    std::unique_ptr<std::ofstream> trace_file_;
 
     std::uint32_t done_gpus_ = 0;
 

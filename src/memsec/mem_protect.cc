@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace mgsec
 {
@@ -73,6 +74,10 @@ MemProtectEngine::access(std::uint64_t addr, bool write,
         // One pipelined MAC pass authenticates the fetched chain.
         meta_ready += params_.macLatency;
         mac_checks_ += static_cast<double>(walked);
+        if (TraceSink *ts = eventq().traceSink()) {
+            ts->complete(0, "memprot", "walk", now(),
+                         meta_ready - now(), "levels", walked);
+        }
     }
 
     // Decryption (read) or MAC update (write) cannot finish before

@@ -1,6 +1,7 @@
 #include "net/network.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace mgsec
 {
@@ -37,7 +38,9 @@ Network::deliver(Tick when, PacketPtr pkt)
     // takes move-only captures) means a run that stops with events
     // still queued returns its in-flight packets to the pool instead
     // of leaking them.
+    ++in_flight_;
     eventq().schedule(when, [this, p = std::move(pkt)]() mutable {
+        --in_flight_;
         MGSEC_ASSERT(handlers_[p->dst] != nullptr,
                      "no handler for node %u", p->dst);
         handlers_[p->dst](std::move(p));
@@ -81,6 +84,10 @@ Network::send(PacketPtr pkt)
         const Tick sent = nv_egress_[pkt->src].reserve(now(), bytes);
         arrive = nv_ingress_[pkt->dst].reserve(
             sent + nvlink_.latency, bytes);
+    }
+    if (TraceSink *ts = eventq().traceSink()) {
+        ts->complete(pkt->src, "net", packetTypeName(pkt->type),
+                     now(), arrive - now(), "bytes", bytes);
     }
     deliver(arrive, std::move(pkt));
 }

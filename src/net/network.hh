@@ -83,6 +83,8 @@ class Network : public SimObject
     }
     /** Bytes sent on the (src -> dst) flow. */
     Bytes pairBytes(NodeId src, NodeId dst) const;
+    /** Packets currently between send() and delivery. */
+    std::uint64_t inFlight() const { return in_flight_; }
     /// @}
 
     /** @name Port utilization (for bandwidth analyses) */
@@ -110,6 +112,7 @@ class Network : public SimObject
     std::vector<Serializer> pcie_up_;
 
     std::vector<double> pair_bytes_;
+    std::uint64_t in_flight_ = 0;
 
     stats::Scalar packets_{"packets", "packets sent"};
     std::array<stats::Scalar, kNumTrafficClasses> class_bytes_{

@@ -29,6 +29,7 @@ Packet::reset()
     acks.clear();
     func.reset();
     sendReady = 0;
+    injectTick = 0;
 }
 
 void

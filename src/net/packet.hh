@@ -128,6 +128,9 @@ struct Packet
     /** Timestamp when the secure-send stage accepted the message. */
     Tick sendReady = 0;
 
+    /** Tick the message entered the channel (trace lifetime start). */
+    Tick injectTick = 0;
+
     /**
      * Return to the freshly-constructed state so a pooled packet can
      * be recycled. Keeps any heap buffer the ack list spilled into.

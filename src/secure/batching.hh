@@ -70,6 +70,26 @@ class BatchAssembler : public SimObject
         return static_cast<std::uint64_t>(flushed_.value());
     }
 
+    /** Batches currently open (occupancy gauge). */
+    std::uint32_t
+    openCount() const
+    {
+        std::uint32_t n = 0;
+        for (const Open &b : open_)
+            n += b.active ? 1 : 0;
+        return n;
+    }
+
+    /** Messages accumulated across all open batches (fill gauge). */
+    std::uint32_t
+    fillTotal() const
+    {
+        std::uint32_t n = 0;
+        for (const Open &b : open_)
+            n += b.active ? b.count : 0;
+        return n;
+    }
+
   private:
     struct Open
     {
@@ -119,6 +139,16 @@ class MsgMacStorage : public SimObject
 
     /** MACs currently parked for @p src. */
     std::uint32_t occupancy(NodeId src) const;
+
+    /** MACs parked across all peers (occupancy gauge). */
+    std::uint32_t
+    occupancyTotal() const
+    {
+        std::uint32_t n = 0;
+        for (NodeId src = 0; src < pending_.size(); ++src)
+            n += occupancy(src);
+        return n;
+    }
 
     std::uint64_t overflows() const
     {

@@ -73,6 +73,16 @@ class PadPipeline
     /** Ready tick of the front pad (MaxTick when quota is 0). */
     Tick frontReady() const;
 
+    /** Staged pads already generated at @p now (occupancy gauge). */
+    std::uint32_t
+    readyAt(Tick now) const
+    {
+        std::uint32_t n = 0;
+        for (Tick t : ready_)
+            n += t <= now ? 1 : 0;
+        return n;
+    }
+
     /** Classify a claim the way Fig. 10 does. */
     static OtpOutcome
     classify(Tick now, Tick ready, Cycles latency)

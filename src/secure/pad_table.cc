@@ -6,6 +6,7 @@
 #include "sim/debug.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace mgsec
 {
@@ -46,6 +47,14 @@ PadTable::record(Direction d, OtpOutcome o, Tick ready)
     const Tick t = now();
     if (ready > t)
         otp_stats_.exposedCycles[di] += static_cast<double>(ready - t);
+
+    if (o == OtpOutcome::Miss) {
+        if (TraceSink *ts = eventq().traceSink()) {
+            ts->instant(self_, "pad",
+                        d == Direction::Send ? "sendMiss" : "recvMiss",
+                        t);
+        }
+    }
 
     if (d == Direction::Send) {
         switch (o) {
@@ -182,6 +191,23 @@ SharedPadTable::acquireRecv(NodeId src, std::uint64_t ctr, bool)
     return RecvGrant{o, ready};
 }
 
+std::uint32_t
+SharedPadTable::padQuota(NodeId peer, Direction d) const
+{
+    if (d == Direction::Send)
+        return peer == last_dst_ ? 1 : 0;
+    return recv_slots_[peer].primed ? 1 : 0;
+}
+
+std::uint32_t
+SharedPadTable::padsReady(NodeId peer, Direction d, Tick now) const
+{
+    if (d == Direction::Send)
+        return peer == last_dst_ && send_slot_ready_ <= now ? 1 : 0;
+    const RecvSlot &slot = recv_slots_[peer];
+    return slot.primed && slot.ready <= now ? 1 : 0;
+}
+
 // ----------------------------------------------------------------- Cached
 
 CachedPadTable::CachedPadTable(const std::string &name, EventQueue &eq,
@@ -202,6 +228,15 @@ CachedPadTable::owned(NodeId peer, Direction d) const
 {
     return static_cast<std::uint32_t>(pairs_[keyOf(peer, d)]
                                           .ready.size());
+}
+
+std::uint32_t
+CachedPadTable::padsReady(NodeId peer, Direction d, Tick now) const
+{
+    std::uint32_t n = 0;
+    for (Tick t : pairs_[keyOf(peer, d)].ready)
+        n += t <= now ? 1 : 0;
+    return n;
 }
 
 Tick
@@ -506,6 +541,9 @@ DynamicPadTable::adjust()
         }
     }
 
+    if (TraceSink *ts = eventq().traceSink())
+        ts->counter(self_, "ewma", "S", now(), s_weight_);
+
     // Re-partitioning throws away staged pads in every resized
     // pipe, so only act when the traffic picture actually moved:
     // rounding noise on stable traffic must not churn the tables.
@@ -541,6 +579,10 @@ DynamicPadTable::adjust()
         applied_s_ = s_weight_;
         applied_s_peer_ = s_peer_weight_;
         applied_r_peer_ = r_peer_weight_;
+        if (TraceSink *ts = eventq().traceSink()) {
+            ts->instant(self_, "ewma", "repartition", now(), "spad",
+                        static_cast<double>(spad));
+        }
         MGSEC_DPRINTF(debug::PadTable,
                       "re-partitioned: S=%.3f spad=%u", s_weight_,
                       spad);

@@ -94,6 +94,15 @@ class PadTable : public SimObject
 
     const OtpStats &otpStats() const { return otp_stats_; }
 
+    /** @name Occupancy gauges (metric sampling, not hot-path) */
+    /// @{
+    /** Staging slots currently assigned to (peer, direction). */
+    virtual std::uint32_t padQuota(NodeId peer, Direction d) const = 0;
+    /** Of those, pads already generated at @p now. */
+    virtual std::uint32_t padsReady(NodeId peer, Direction d,
+                                    Tick now) const = 0;
+    /// @}
+
   protected:
     /** Record an outcome and the latency it exposed. */
     void record(Direction d, OtpOutcome o, Tick ready);
@@ -129,6 +138,20 @@ class PrivatePadTable : public PadTable
 
     std::uint32_t quotaPerPair() const { return quota_per_pair_; }
 
+    std::uint32_t
+    padQuota(NodeId peer, Direction d) const override
+    {
+        return (d == Direction::Send ? send_pipes_
+                                     : recv_pipes_)[peer].quota();
+    }
+
+    std::uint32_t
+    padsReady(NodeId peer, Direction d, Tick now) const override
+    {
+        return (d == Direction::Send ? send_pipes_
+                                     : recv_pipes_)[peer].readyAt(now);
+    }
+
   protected:
     std::uint32_t quota_per_pair_;
     std::vector<PadPipeline> send_pipes_;
@@ -150,6 +173,10 @@ class SharedPadTable : public PadTable
     SendGrant acquireSend(NodeId dst) override;
     RecvGrant acquireRecv(NodeId src, std::uint64_t ctr,
                           bool sender_fallback = false) override;
+
+    std::uint32_t padQuota(NodeId peer, Direction d) const override;
+    std::uint32_t padsReady(NodeId peer, Direction d,
+                            Tick now) const override;
 
   private:
     /** Global send counter (one stream for all destinations). */
@@ -186,6 +213,15 @@ class CachedPadTable : public PadTable
 
     /** Entries currently owned by a (peer, direction). */
     std::uint32_t owned(NodeId peer, Direction d) const;
+
+    std::uint32_t
+    padQuota(NodeId peer, Direction d) const override
+    {
+        return owned(peer, d);
+    }
+
+    std::uint32_t padsReady(NodeId peer, Direction d,
+                            Tick now) const override;
 
   private:
     struct PairState
@@ -266,6 +302,15 @@ class DynamicPadTable : public PrivatePadTable
     std::uint32_t quota(NodeId peer, Direction d) const;
 
     double sendWeight() const { return s_weight_; }
+
+    /** EWMA traffic share of @p peer in direction @p d. */
+    double
+    peerWeight(NodeId peer, Direction d) const
+    {
+        return d == Direction::Send ? s_peer_weight_[peer]
+                                    : r_peer_weight_[peer];
+    }
+
     std::uint64_t adjustments() const
     {
         return static_cast<std::uint64_t>(adjustments_.value());

@@ -26,15 +26,21 @@ class ReplayWindow
         : pending_(num_nodes), capacity_(capacity)
     {}
 
-    /** Track an un-ACKed outgoing message. */
-    void
+    /**
+     * Track an un-ACKed outgoing message.
+     * @retval true the window just exceeded its capacity.
+     */
+    bool
     add(NodeId dst, std::uint64_t ctr)
     {
         pending_[dst].push_back(ctr);
         const std::size_t total = outstandingTotal();
         peak_ = std::max(peak_, total);
-        if (total > capacity_)
+        if (total > capacity_) {
             ++overflows_;
+            return true;
+        }
+        return false;
     }
 
     /** Cumulative ACK: everything on the pair up to @p ctr is safe. */

@@ -5,6 +5,7 @@
 #include "sim/debug.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace mgsec
 {
@@ -72,6 +73,7 @@ SecureChannel::send(PacketPtr pkt)
                  pkt->src, self_);
     pkt->id = next_pkt_id_++;
     pkt->headerBytes = cfg_.headerBytes;
+    pkt->injectTick = now();
 
     if (!cfg_.secured()) {
         finishSend(std::move(pkt), now());
@@ -97,17 +99,27 @@ SecureChannel::send(PacketPtr pkt)
         pkt->hasMac = tag.last; // the batched MsgMAC rides the closer
         if (tag.first)
             meta += cfg_.batchLenBytes;
-        if (tag.last)
+        if (tag.last) {
             meta += cfg_.macBytes;
-        replay_.add(pkt->dst, grant.ctr);
+            if (TraceSink *ts = eventq().traceSink()) {
+                ts->instant(self_, "batch", "close", now(), "id",
+                            static_cast<double>(tag.batchId));
+            }
+        }
+        if (replay_.add(pkt->dst, grant.ctr)) {
+            if (TraceSink *ts = eventq().traceSink())
+                ts->instant(self_, "replay", "overflow", now());
+        }
     } else {
         pkt->hasMac = true;
         meta += cfg_.macBytes;
         // Requests are implicitly acknowledged by their data
         // response; only responses join the replay window and draw
         // a dedicated ACK.
-        if (pkt->isResponse())
-            replay_.add(pkt->dst, grant.ctr);
+        if (pkt->isResponse() && replay_.add(pkt->dst, grant.ctr)) {
+            if (TraceSink *ts = eventq().traceSink())
+                ts->instant(self_, "replay", "overflow", now());
+        }
     }
     if (cfg_.countMetadataBytes)
         pkt->secMetaBytes = meta;
@@ -126,6 +138,11 @@ SecureChannel::send(PacketPtr pkt)
     Tick dep = std::max(now(), grant.padReady) + 1;
     dep = std::max(dep, last_departure_[pkt->dst]);
     last_departure_[pkt->dst] = dep;
+
+    if (dep > now()) {
+        if (TraceSink *ts = eventq().traceSink())
+            ts->complete(self_, "pad", "sendWait", now(), dep - now());
+    }
 
     if (dep <= now()) {
         finishSend(std::move(pkt), now());
@@ -296,6 +313,7 @@ SecureChannel::flushAcks(NodeId peer)
     pkt->type = PacketType::SecAck;
     pkt->src = self_;
     pkt->dst = peer;
+    pkt->injectTick = now();
     pkt->acks.assign(pa.begin(), pa.end());
     pa.clear();
     if (cfg_.countMetadataBytes) {
@@ -313,11 +331,16 @@ void
 SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
                                 std::uint8_t count)
 {
+    if (TraceSink *ts = eventq().traceSink()) {
+        ts->instant(self_, "batch", "flush", now(), "id",
+                    static_cast<double>(batch_id));
+    }
     auto pkt = makePacket();
     pkt->id = next_pkt_id_++;
     pkt->type = PacketType::BatchMac;
     pkt->src = self_;
     pkt->dst = dst;
+    pkt->injectTick = now();
     pkt->batchId = batch_id;
     pkt->batchLen = count;
     pkt->hasMac = true;
@@ -374,6 +397,10 @@ SecureChannel::handleArrival(PacketPtr pkt)
     }
 
     if (!pkt->secured) {
+        if (TraceSink *ts = eventq().traceSink()) {
+            ts->complete(self_, "packet", packetTypeName(pkt->type),
+                         pkt->injectTick, now() - pkt->injectTick);
+        }
         MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
         deliver_(std::move(pkt));
         return;
@@ -406,6 +433,18 @@ SecureChannel::handleArrival(PacketPtr pkt)
     Tick ready = std::max(now(), grant.padReady) + 1;
     ready = std::max(ready, last_deliver_[src]);
     last_deliver_[src] = ready;
+
+    if (TraceSink *ts = eventq().traceSink()) {
+        // The packet's lifetime runs from channel injection at the
+        // sender to decrypted delivery here (inject -> pad lookup ->
+        // encrypt -> wire -> verify); any tail past the wire arrival
+        // is pad/verify wait, shown as its own span.
+        ts->complete(self_, "packet", packetTypeName(pkt->type),
+                     pkt->injectTick, ready - pkt->injectTick);
+        if (ready > now())
+            ts->complete(self_, "pad", "recvWait", now(),
+                         ready - now());
+    }
 
     MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
     if (ready <= now()) {

@@ -1,5 +1,6 @@
 #include "sim/debug.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -86,6 +87,24 @@ enableFromEnv()
 {
     if (const char *env = std::getenv("MGSEC_DEBUG"))
         DebugFlag::enableByName(env);
+}
+
+void
+listFlags(std::ostream &os)
+{
+    os << "debug flags (comma-separated, e.g. --debug "
+          "Channel,Batch):\n";
+    std::size_t width = 3; // "All"
+    for (const DebugFlag *f : DebugFlag::all())
+        width = std::max(width, std::string(f->name()).size());
+    for (const DebugFlag *f : DebugFlag::all()) {
+        os << "  " << f->name()
+           << std::string(width - std::string(f->name()).size() + 2,
+                          ' ')
+           << f->desc() << "\n";
+    }
+    os << "  All" << std::string(width - 1, ' ')
+       << "enable every flag\n";
 }
 
 void

@@ -61,6 +61,9 @@ void setStream(std::ostream &os);
 /** Apply MGSEC_DEBUG from the environment (call once at startup). */
 void enableFromEnv();
 
+/** Print every registered flag with its description (--debug help). */
+void listFlags(std::ostream &os);
+
 /** Emit one formatted trace line. */
 void print(Tick tick, const std::string &component,
            const std::string &message);

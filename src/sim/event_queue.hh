@@ -35,6 +35,8 @@
 namespace mgsec
 {
 
+class TraceSink;
+
 /**
  * Handle returned by EventQueue::schedule(); lets the creator cancel
  * the event before it fires.
@@ -118,6 +120,16 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Timeline sink shared by every component on this queue, or
+     * nullptr when tracing is off. Living on the queue keeps the
+     * sink per-system (parallel sweep jobs never share one) and
+     * makes the disabled case a single pointer test at each hook.
+     */
+    TraceSink *traceSink() const { return trace_sink_; }
+    /** Attach/detach the sink; the caller retains ownership. */
+    void setTraceSink(TraceSink *sink) { trace_sink_ = sink; }
+
   private:
     struct Entry
     {
@@ -158,6 +170,7 @@ class EventQueue
     std::uint64_t next_seq_ = 1;
     std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;
+    TraceSink *trace_sink_ = nullptr;
 };
 
 } // namespace mgsec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Purpose-built (no external dependency): objects, arrays, scalars,
+ * strings, with full string escaping including control characters.
+ * Lives in sim/ so both the stats package and the observability
+ * sinks can emit JSON without depending on core/.
+ */
+
+#ifndef MGSEC_SIM_JSON_WRITER_HH
+#define MGSEC_SIM_JSON_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mgsec
+{
+
+/** Minimal JSON writer: objects, arrays, scalars, strings. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const std::string &key = "");
+    JsonWriter &endArray();
+
+    JsonWriter &key(const std::string &k);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** RFC 8259 string escaping (quotes, backslash, control chars). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void separate();
+
+    std::ostream &os_;
+    /** Whether the current nesting level already has an element. */
+    std::string has_elem_; // one char per depth: '0' or '1'
+    bool pending_key_ = false;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_JSON_WRITER_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Periodic time-series sampling of live simulation metrics.
+ *
+ * A MetricSampler owns a set of named gauge callbacks and, once
+ * started, samples all of them every `interval` simulated cycles
+ * into a preallocated ring buffer (sampling itself never allocates).
+ * When the ring fills, the oldest rows are overwritten and counted
+ * as dropped, so a long run degrades to "most recent window" rather
+ * than unbounded memory. The collected series flush as one JSON
+ * document (see writeJson) consumed by METRICS_<run>.json.
+ *
+ * The sampler is generic: it knows nothing about channels or pad
+ * tables. core/system.cc registers the concrete gauges (pad-buffer
+ * occupancy per (pair, direction), EWMA weights, batch fill, replay
+ * span, in-flight packets) plus one column per registered Scalar
+ * stat.
+ */
+
+#ifndef MGSEC_SIM_METRIC_SAMPLER_HH
+#define MGSEC_SIM_METRIC_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+namespace stats { class StatGroup; }
+
+/** Fixed-cadence gauge sampler with a bounded in-memory ring. */
+class MetricSampler
+{
+  public:
+    /** Reads one metric at the given sample tick. */
+    using Gauge = std::function<double(Tick)>;
+    /** Re-arm predicate: sampling stops when this returns false. */
+    using KeepGoing = std::function<bool()>;
+
+    /**
+     * @param interval  cycles between samples (> 0).
+     * @param capacity  ring rows kept in memory (> 0).
+     * @param keep      optional liveness predicate; without one the
+     *                  sampler re-arms until the queue drains.
+     */
+    MetricSampler(EventQueue &eq, Cycles interval, std::size_t capacity,
+                  KeepGoing keep = {});
+
+    /** Register a gauge column. Must precede start(). */
+    void addGauge(std::string name, Gauge g);
+
+    /**
+     * Register one column per Scalar stat in @p g, named
+     * "<group>.<stat>". Non-scalar stats are skipped (distributions
+     * and time series are not meaningfully point-sampled).
+     */
+    void addScalars(const stats::StatGroup &g);
+
+    /** Schedule the first sample at now + interval. */
+    void start();
+
+    /** Take one sample immediately (e.g. the end-of-run snapshot). */
+    void sampleNow();
+
+    Cycles interval() const { return interval_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t samples() const { return size_; }
+    std::uint64_t dropped() const { return dropped_; }
+    const std::vector<std::string> &columns() const { return names_; }
+
+    /** Tick of retained row @p i (0 = oldest retained). */
+    Tick tickAt(std::size_t i) const;
+    /** Value of column @p col in retained row @p i. */
+    double valueAt(std::size_t i, std::size_t col) const;
+
+    /**
+     * Flush as one JSON object:
+     * {interval, capacity, dropped, columns:[...],
+     *  data:[[tick, v0, v1, ...], ...]}
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    void scheduleNext();
+    void sample();
+    std::size_t rowIndex(std::size_t i) const;
+
+    EventQueue &eq_;
+    Cycles interval_;
+    std::size_t capacity_;
+    KeepGoing keep_;
+    bool started_ = false;
+
+    std::vector<std::string> names_;
+    std::vector<Gauge> gauges_;
+
+    /** Ring storage: ticks_[r] + values_[r * columns + c]. */
+    std::vector<Tick> ticks_;
+    std::vector<double> values_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_METRIC_SAMPLER_HH

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace mgsec::stats
@@ -12,6 +13,17 @@ void
 Scalar::dump(std::ostream &os) const
 {
     os << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::dumpJson(JsonWriter &w) const
+{
+    w.key(name());
+    w.beginObject();
+    w.field("type", std::string("scalar"));
+    w.field("desc", desc());
+    w.field("value", value_);
+    w.endObject();
 }
 
 Distribution::Distribution(std::string name, std::string desc,
@@ -91,6 +103,29 @@ Distribution::dump(std::ostream &os) const
 }
 
 void
+Distribution::dumpJson(JsonWriter &w) const
+{
+    w.key(name());
+    w.beginObject();
+    w.field("type", std::string("distribution"));
+    w.field("desc", desc());
+    w.field("count", count_);
+    w.field("mean", mean());
+    w.field("stdev", stddev());
+    w.field("min", min_seen_);
+    w.field("max", max_seen_);
+    w.field("underflow", underflow_);
+    w.field("overflow", overflow_);
+    w.field("lo", lo_);
+    w.field("bucketWidth", width_);
+    w.beginArray("buckets");
+    for (std::uint64_t b : buckets_)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -108,6 +143,24 @@ TimeSeries::dump(std::ostream &os) const
 {
     os << name() << "::samples " << points_.size() << " # " << desc()
        << "\n";
+}
+
+void
+TimeSeries::dumpJson(JsonWriter &w) const
+{
+    w.key(name());
+    w.beginObject();
+    w.field("type", std::string("timeseries"));
+    w.field("desc", desc());
+    w.beginArray("points");
+    for (const auto &[t, v] : points_) {
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(t));
+        w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 void
@@ -131,6 +184,16 @@ StatGroup::dump(std::ostream &os) const
             os << line << "\n";
         }
     }
+}
+
+void
+StatGroup::dumpJson(JsonWriter &w) const
+{
+    w.key(name_.empty() ? "stats" : name_);
+    w.beginObject();
+    for (const Stat *s : stats_)
+        s->dumpJson(w);
+    w.endObject();
 }
 
 void

@@ -20,6 +20,11 @@
 
 #include "sim/types.hh"
 
+namespace mgsec
+{
+class JsonWriter;
+} // namespace mgsec
+
 namespace mgsec::stats
 {
 
@@ -37,6 +42,12 @@ class Stat
 
     /** Print one or more "name value # desc" lines. */
     virtual void dump(std::ostream &os) const = 0;
+
+    /**
+     * Serialize as "name": {type, desc, ...} into the writer's
+     * current object (names and descriptions are JSON-escaped).
+     */
+    virtual void dumpJson(JsonWriter &w) const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -58,6 +69,7 @@ class Scalar : public Stat
     double value() const { return value_; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(JsonWriter &w) const override;
     void reset() override { value_ = 0.0; }
 
   private:
@@ -93,6 +105,7 @@ class Distribution : public Stat
     double bucketFrac(std::size_t i) const;
 
     void dump(std::ostream &os) const override;
+    void dumpJson(JsonWriter &w) const override;
     void reset() override;
 
   private:
@@ -122,6 +135,7 @@ class TimeSeries : public Stat
     }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(JsonWriter &w) const override;
     void reset() override { points_.clear(); }
 
   private:
@@ -141,6 +155,11 @@ class StatGroup
 
     /** Dump all stats, each line prefixed with the group name. */
     void dump(std::ostream &os) const;
+    /**
+     * Serialize as "<group>": {"<stat>": {...}, ...} into the
+     * writer's current object (an unnamed group uses key "stats").
+     */
+    void dumpJson(JsonWriter &w) const;
     void resetAll();
 
     const std::vector<Stat *> &all() const { return stats_; }

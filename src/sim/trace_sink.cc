@@ -1,0 +1,83 @@
+#include "sim/trace_sink.hh"
+
+#include <ostream>
+
+namespace mgsec
+{
+
+TraceSink::TraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+TraceSink::~TraceSink()
+{
+    finish();
+}
+
+void
+TraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+void
+TraceSink::prefix(char ph, std::uint32_t tid, const char *cat,
+                  const char *name, Tick ts)
+{
+    os_ << (events_ ? ",\n" : "\n");
+    ++events_;
+    os_ << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid
+        << ",\"cat\":\"" << cat << "\",\"name\":\"" << name
+        << "\",\"ts\":" << ts;
+}
+
+void
+TraceSink::complete(std::uint32_t tid, const char *cat,
+                    const char *name, Tick start, Tick dur)
+{
+    prefix('X', tid, cat, name, start);
+    os_ << ",\"dur\":" << dur << "}";
+}
+
+void
+TraceSink::complete(std::uint32_t tid, const char *cat,
+                    const char *name, Tick start, Tick dur,
+                    const char *arg_key, std::uint64_t arg_val)
+{
+    prefix('X', tid, cat, name, start);
+    os_ << ",\"dur\":" << dur << ",\"args\":{\"" << arg_key
+        << "\":" << arg_val << "}}";
+}
+
+void
+TraceSink::instant(std::uint32_t tid, const char *cat,
+                   const char *name, Tick ts)
+{
+    prefix('i', tid, cat, name, ts);
+    os_ << ",\"s\":\"t\"}";
+}
+
+void
+TraceSink::instant(std::uint32_t tid, const char *cat,
+                   const char *name, Tick ts, const char *arg_key,
+                   double arg_val)
+{
+    prefix('i', tid, cat, name, ts);
+    os_ << ",\"s\":\"t\",\"args\":{\"" << arg_key << "\":" << arg_val
+        << "}}";
+}
+
+void
+TraceSink::counter(std::uint32_t tid, const char *cat,
+                   const char *name, Tick ts, double value)
+{
+    prefix('C', tid, cat, name, ts);
+    os_ << ",\"args\":{\"" << name << "\":" << value << "}}";
+}
+
+} // namespace mgsec

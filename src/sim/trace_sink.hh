@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Chrome trace_event sink for simulation timelines.
+ *
+ * Emits the JSON Array Format understood by chrome://tracing and
+ * Perfetto: one process (pid 0) whose threads are the simulated
+ * nodes, with simulated cycles mapped 1:1 onto microseconds.
+ * Components reach the sink through EventQueue::traceSink(); a null
+ * pointer there is the entire cost of disabled tracing, so the
+ * zero-allocation hot-path guarantee is preserved when no sink is
+ * attached.
+ *
+ * Event vocabulary (category / name):
+ *  - "packet"  complete: one span per delivered data packet, from
+ *              injection at the sender to readiness at the receiver.
+ *  - "net"     complete: wire occupancy of each hop (serialization
+ *              plus link latency), with a bytes argument.
+ *  - "pad"     complete "sendWait"/"recvWait": cycles a packet
+ *              stalled waiting for pad material; instant
+ *              "sendMiss"/"recvMiss": pad-buffer misses.
+ *  - "ewma"    counter "S": Dynamic send-weight after each EWMA
+ *              update; instant "repartition": an actual quota move.
+ *  - "batch"   instant "close" (batch reached its declared size) and
+ *              "flush" (idle-timeout or drain trailer).
+ *  - "replay"  instant "overflow": replay-window span exceeded.
+ *  - "memprot" complete "walk": host integrity-tree walk latency.
+ */
+
+#ifndef MGSEC_SIM_TRACE_SINK_HH
+#define MGSEC_SIM_TRACE_SINK_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Streaming Chrome trace_event writer (JSON Array Format). */
+class TraceSink
+{
+  public:
+    /** The stream must outlive the sink; finish() seals the JSON. */
+    explicit TraceSink(std::ostream &os);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Duration ("X") event: [start, start + dur) on thread tid. */
+    void complete(std::uint32_t tid, const char *cat, const char *name,
+                  Tick start, Tick dur);
+    /** Duration event with one integer argument. */
+    void complete(std::uint32_t tid, const char *cat, const char *name,
+                  Tick start, Tick dur, const char *arg_key,
+                  std::uint64_t arg_val);
+
+    /** Thread-scoped instant ("i") event. */
+    void instant(std::uint32_t tid, const char *cat, const char *name,
+                 Tick ts);
+    /** Instant event with one numeric argument. */
+    void instant(std::uint32_t tid, const char *cat, const char *name,
+                 Tick ts, const char *arg_key, double arg_val);
+
+    /** Counter ("C") event: plots a per-thread series over time. */
+    void counter(std::uint32_t tid, const char *cat, const char *name,
+                 Tick ts, double value);
+
+    /** Close the traceEvents array; idempotent, called by ~TraceSink. */
+    void finish();
+
+    std::uint64_t events() const { return events_; }
+
+  private:
+    /** Common prefix up to (but not including) the closing brace. */
+    void prefix(char ph, std::uint32_t tid, const char *cat,
+                const char *name, Tick ts);
+
+    std::ostream &os_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_TRACE_SINK_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Observability-layer tests: the trace / metrics / stats-JSON sinks
+ * must be deterministic, must never perturb simulated results, the
+ * metric ring must wrap correctly, and every JSON emitter must
+ * escape hostile stat names and descriptions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "sim/event_queue.hh"
+#include "sim/json_writer.hh"
+#include "sim/metric_sampler.hh"
+#include "sim/stats.hh"
+#include "sim/trace_sink.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+ExperimentConfig
+quick()
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Dynamic;
+    e.batching = true;
+    e.scale = 0.08;
+    return e;
+}
+
+struct Captured
+{
+    RunResult result;
+    std::string trace;
+    std::string metrics;
+    std::string stats;
+};
+
+Captured
+runObserved(const ExperimentConfig &cfg)
+{
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+    MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+
+    std::ostringstream trace;
+    sys.enableTrace(trace);
+    sys.enableMetrics(500, 1024);
+
+    Captured c;
+    c.result = sys.run();
+    c.trace = trace.str();
+
+    std::ostringstream metrics;
+    sys.writeMetricsJson(metrics);
+    c.metrics = metrics.str();
+
+    std::ostringstream stats;
+    sys.dumpStatsJson(stats);
+    c.stats = stats.str();
+    return c;
+}
+
+} // anonymous namespace
+
+TEST(Observability, IdenticalRunsProduceIdenticalArtifacts)
+{
+    const Captured a = runObserved(quick());
+    const Captured b = runObserved(quick());
+    ASSERT_TRUE(a.result.completed);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.metrics, b.metrics);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Observability, SinksDoNotPerturbResults)
+{
+    const RunResult plain = runWorkload("mm", quick());
+    const Captured observed = runObserved(quick());
+    ASSERT_TRUE(plain.completed);
+    EXPECT_EQ(plain.cycles, observed.result.cycles);
+    EXPECT_EQ(plain.totalBytes, observed.result.totalBytes);
+    EXPECT_EQ(plain.packets, observed.result.packets);
+    EXPECT_EQ(plain.remoteOps, observed.result.remoteOps);
+    EXPECT_EQ(plain.migrations, observed.result.migrations);
+}
+
+TEST(Observability, TraceIsSealedAndCategorized)
+{
+    const Captured c = runObserved(quick());
+    EXPECT_NE(c.trace.find("\"displayTimeUnit\""), std::string::npos);
+    // Sealed JSON: finish() must have closed the event array.
+    EXPECT_EQ(c.trace.substr(c.trace.size() - 4), "\n]}\n");
+    for (const char *cat : {"\"cat\":\"packet\"", "\"cat\":\"net\"",
+                            "\"cat\":\"pad\"", "\"cat\":\"ewma\"",
+                            "\"cat\":\"batch\""}) {
+        EXPECT_NE(c.trace.find(cat), std::string::npos) << cat;
+    }
+}
+
+TEST(Observability, MetricsCoverPadsAndEwma)
+{
+    const Captured c = runObserved(quick());
+    EXPECT_NE(c.metrics.find("gpu1.pads.send.gpu2.quota"),
+              std::string::npos);
+    EXPECT_NE(c.metrics.find("gpu1.ewma.S"), std::string::npos);
+    EXPECT_NE(c.metrics.find("gpu1.batch.open"), std::string::npos);
+    EXPECT_NE(c.metrics.find("net.inFlight"), std::string::npos);
+}
+
+TEST(Observability, ResetStatsMatchesFreshSystem)
+{
+    const ExperimentConfig cfg = quick();
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+
+    MultiGpuSystem used(makeSystemConfig(cfg), profile);
+    ASSERT_TRUE(used.run().completed);
+    used.resetStats();
+    std::ostringstream after_reset;
+    used.dumpStatsJson(after_reset);
+
+    MultiGpuSystem fresh(makeSystemConfig(cfg), profile);
+    std::ostringstream never_ran;
+    fresh.dumpStatsJson(never_ran);
+
+    EXPECT_EQ(after_reset.str(), never_ran.str());
+}
+
+TEST(MetricSampler, RingWrapsAndCountsDropped)
+{
+    EventQueue eq;
+    int calls = 0;
+    MetricSampler ms(eq, 10, 4,
+                     [&eq]() { return eq.now() < 100; });
+    ms.addGauge("n", [&calls](Tick) {
+        return static_cast<double>(++calls);
+    });
+    ms.start();
+    eq.run();
+
+    // Samples fire at t = 10, 20, ..., 100: ten rows into a
+    // four-row ring keeps the newest four.
+    EXPECT_EQ(ms.samples(), 4u);
+    EXPECT_EQ(ms.dropped(), 6u);
+    EXPECT_EQ(ms.tickAt(0), 70u);
+    EXPECT_EQ(ms.tickAt(3), 100u);
+    EXPECT_EQ(ms.valueAt(0, 0), 7.0);
+    EXPECT_EQ(ms.valueAt(3, 0), 10.0);
+}
+
+TEST(MetricSampler, WriteJsonReportsDroppedRows)
+{
+    EventQueue eq;
+    MetricSampler ms(eq, 5, 2, [&eq]() { return eq.now() < 20; });
+    ms.addGauge("g", [](Tick t) { return static_cast<double>(t); });
+    ms.start();
+    eq.run();
+
+    std::ostringstream os;
+    ms.writeJson(os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"dropped\":2"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"columns\""), std::string::npos);
+    // Ticks serialize as integers, not doubles.
+    EXPECT_NE(j.find("[15,15]"), std::string::npos) << j;
+    EXPECT_NE(j.find("[20,20]"), std::string::npos) << j;
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(JsonWriter::escape("\n\t\r\b\f"),
+              "\\n\\t\\r\\b\\f");
+    EXPECT_EQ(JsonWriter::escape(std::string("\x01\x1f")),
+              "\\u0001\\u001f");
+    EXPECT_EQ(JsonWriter::escape("plain text"), "plain text");
+}
+
+TEST(JsonWriter, StatDumpEscapesNameAndDesc)
+{
+    stats::Scalar s("we\"ird\nname", "desc with \x02 control");
+    s += 3.0;
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    s.dumpJson(w);
+    w.endObject();
+    const std::string j = os.str();
+    EXPECT_NE(j.find("we\\\"ird\\nname"), std::string::npos) << j;
+    EXPECT_NE(j.find("\\u0002"), std::string::npos) << j;
+}
+
+TEST(Observability, ConfigHashIgnoresObservePaths)
+{
+    ExperimentConfig a = quick();
+    ExperimentConfig b = quick();
+    b.observe.metricsOut = "/tmp/somewhere.json";
+    b.observe.traceOut = "/tmp/elsewhere.json";
+    EXPECT_EQ(configHash("mm", a), configHash("mm", b));
+
+    ExperimentConfig c = quick();
+    c.seed = 7;
+    EXPECT_NE(configHash("mm", a), configHash("mm", c));
+    EXPECT_NE(configHash("mm", a), configHash("atax", a));
+    EXPECT_EQ(configHash("mm", a).size(), 16u);
+}

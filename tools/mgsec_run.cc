@@ -46,10 +46,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    auto build = [&](OtpScheme scheme, bool batching) {
+    auto build = [&](OtpScheme scheme, bool batching, bool observe) {
         ExperimentConfig e = opts.exp;
         e.scheme = scheme;
         e.batching = batching;
+        if (!observe)
+            e.observe = ObserveConfig{};
         auto sys = std::make_unique<MultiGpuSystem>(
             makeSystemConfig(e), profile);
         if (!opts.tracePlay.empty()) {
@@ -59,7 +61,7 @@ main(int argc, char **argv)
         return sys;
     };
 
-    auto sys = build(opts.exp.scheme, opts.exp.batching);
+    auto sys = build(opts.exp.scheme, opts.exp.batching, true);
     const RunResult r = sys->run();
     if (!r.completed) {
         std::cerr << "run did not complete\n";
@@ -91,7 +93,8 @@ main(int argc, char **argv)
     }
 
     if (opts.baseline && opts.exp.scheme != OtpScheme::Unsecure) {
-        auto base_sys = build(OtpScheme::Unsecure, false);
+        // The baseline never re-opens the primary run's sinks.
+        auto base_sys = build(OtpScheme::Unsecure, false, false);
         const RunResult base = base_sys->run();
         if (base.completed) {
             std::cout << "  vs unsecure:   "
@@ -128,5 +131,14 @@ main(int argc, char **argv)
             std::cout << "stats written to " << opts.statsOut << "\n";
         }
     }
+
+    const ObserveConfig &obs = opts.exp.observe;
+    if (!obs.metricsOut.empty())
+        std::cout << "metrics written to " << obs.metricsOut << "\n";
+    if (!obs.traceOut.empty())
+        std::cout << "trace written to " << obs.traceOut << "\n";
+    if (!obs.statsJsonOut.empty())
+        std::cout << "stats JSON written to " << obs.statsJsonOut
+                  << "\n";
     return 0;
 }

@@ -6,7 +6,7 @@
  * calibrated?" dashboard used while developing the reproduction.
  *
  * Usage: mgsec_sweep [--gpus N] [--scale F] [--seeds N] [--jobs N]
- *                    [--json FILE]
+ *                    [--json FILE] [--observe DIR] [--debug FLAGS]
  *
  * The matrix runs on the parallel job pool; the unsecure baseline of
  * each (workload, seed) is simulated once and shared by all six
@@ -87,6 +87,7 @@ main(int argc, char **argv)
     args.scale = 1.0;
     args.acceptGpus = true;
     args.acceptJson = true;
+    args.acceptObserve = true;
     args.parseArgs(argc, argv);
 
     std::cout << "normalized execution time, " << args.gpus
@@ -144,6 +145,9 @@ main(int argc, char **argv)
     std::cout << "\nbaseline cache: " << sweep.baselineRuns()
               << " baseline run(s), " << sweep.baselineHits()
               << " hit(s); " << sweep.jobs() << " job(s)\n";
+    if (!args.observeDir.empty())
+        std::cout << "observability files written to "
+                  << args.observeDir << "/ (see OBSERVE_INDEX.json)\n";
     std::cout << "\npaper (4 GPUs): Private 1.195, Private16x 1.140, "
                  "Shared 2.663, Cached 1.163, Dynamic 1.147, Ours "
                  "1.079; traffic 1.365 -> ~1.09\n";
