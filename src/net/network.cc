@@ -53,6 +53,18 @@ Network::send(PacketPtr pkt)
     MGSEC_ASSERT(pkt->src < num_nodes_ && pkt->dst < num_nodes_ &&
                      pkt->src != pkt->dst,
                  "bad route %u -> %u", pkt->src, pkt->dst);
+
+    // Pre-wire tamper point: the packet has not touched the wire
+    // yet, so mutations here change accounting and serialization,
+    // and a Drop leaves no trace on the interconnect.
+    if (const TamperHook &pre = tamper_[static_cast<std::size_t>(
+            TamperPoint::PreWire)]) {
+        if (pre(*pkt) == TamperVerdict::Drop) {
+            ++dropped_;
+            return;
+        }
+    }
+
     const Bytes bytes = pkt->wireBytes();
     MGSEC_ASSERT(bytes > 0, "zero-byte packet");
 
@@ -67,9 +79,6 @@ Network::send(PacketPtr pkt)
         static_cast<double>(pkt->ackBytes);
     pair_bytes_[static_cast<std::size_t>(pkt->src) * num_nodes_ +
                 pkt->dst] += static_cast<double>(bytes);
-
-    if (tamper_)
-        tamper_(*pkt);
 
     const bool is_pcie = pkt->src == 0 || pkt->dst == 0;
     Tick arrive;
@@ -88,6 +97,17 @@ Network::send(PacketPtr pkt)
     if (TraceSink *ts = eventq().traceSink()) {
         ts->complete(pkt->src, "net", packetTypeName(pkt->type),
                      now(), arrive - now(), "bytes", bytes);
+    }
+
+    // Post-wire tamper point: accounting and port occupancy are
+    // committed, so the hook observes the exact wire bytes; only
+    // what arrives (or whether anything arrives) can still change.
+    if (const TamperHook &post = tamper_[static_cast<std::size_t>(
+            TamperPoint::PostWire)]) {
+        if (post(*pkt) == TamperVerdict::Drop) {
+            ++dropped_;
+            return;
+        }
     }
     deliver(arrive, std::move(pkt));
 }

@@ -62,12 +62,61 @@ class Network : public SimObject
     void send(PacketPtr pkt);
 
     /**
-     * Install an in-flight meddler — the physical attacker of the
-     * threat model. Runs on every packet as it crosses the exposed
-     * interconnect; used by the adversarial tests.
+     * @name In-flight meddling — the physical attacker of the
+     * threat model.
+     *
+     * Two distinct mount points along a packet's wire crossing:
+     *
+     *   PreWire  - before byte accounting and port serialization.
+     *              Mutations (including byte-class fields) fully take
+     *              effect: they change what is accounted, how long
+     *              the ports are busy, and what arrives. A Drop here
+     *              suppresses the packet before it touches the wire.
+     *   PostWire - after accounting and serialization: the hook sees
+     *              the exact bytes the wire carried (what a probe on
+     *              the exposed interconnect captures), so replay
+     *              capture records true wire images. Mutations alter
+     *              only what is delivered, never the traffic
+     *              accounting or timing already committed; a Drop
+     *              models in-flight loss (the bytes crossed the
+     *              wire but nothing arrives).
+     *
+     * Hooks run on every packet crossing the exposed interconnect;
+     * used by the adversarial validation subsystem (src/verify).
+     */
+    /// @{
+    enum class TamperPoint : std::uint8_t { PreWire = 0, PostWire = 1 };
+    enum class TamperVerdict : std::uint8_t { Forward, Drop };
+    using TamperHook = std::function<TamperVerdict(Packet &)>;
+    void
+    setTamper(TamperPoint point, TamperHook h)
+    {
+        tamper_[static_cast<std::size_t>(point)] = std::move(h);
+    }
+
+    /**
+     * Legacy single-point form: a void meddler mounted post-wire
+     * that always forwards (the historical behavior).
      */
     using Tamper = std::function<void(Packet &)>;
-    void setTamper(Tamper t) { tamper_ = std::move(t); }
+    void
+    setTamper(Tamper t)
+    {
+        if (!t) {
+            tamper_[static_cast<std::size_t>(TamperPoint::PostWire)] =
+                TamperHook{};
+            return;
+        }
+        setTamper(TamperPoint::PostWire,
+                  [t = std::move(t)](Packet &p) {
+                      t(p);
+                      return TamperVerdict::Forward;
+                  });
+    }
+
+    /** Packets a tamper hook dropped (either point). */
+    std::uint64_t droppedPackets() const { return dropped_; }
+    /// @}
 
     /** @name Aggregate traffic accounting */
     /// @{
@@ -103,7 +152,8 @@ class Network : public SimObject
     LinkParams nvlink_;
 
     std::vector<Handler> handlers_;
-    Tamper tamper_;
+    std::array<TamperHook, 2> tamper_;
+    std::uint64_t dropped_ = 0;
 
     /** Indexed by node id; entry 0 unused. */
     std::vector<Serializer> nv_egress_;

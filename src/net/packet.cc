@@ -59,6 +59,38 @@ makeFunctionalPayload()
     return PacketPool::acquireFunc();
 }
 
+PacketPtr
+clonePacket(const Packet &p)
+{
+    auto c = makePacket();
+    c->id = p.id;
+    c->txnId = p.txnId;
+    c->type = p.type;
+    c->src = p.src;
+    c->dst = p.dst;
+    c->addr = p.addr;
+    c->migration = p.migration;
+    c->headerBytes = p.headerBytes;
+    c->payloadBytes = p.payloadBytes;
+    c->secMetaBytes = p.secMetaBytes;
+    c->ackBytes = p.ackBytes;
+    c->secured = p.secured;
+    c->msgCtr = p.msgCtr;
+    c->padFallback = p.padFallback;
+    c->hasMac = p.hasMac;
+    c->batchId = p.batchId;
+    c->batchLen = p.batchLen;
+    c->batchLast = p.batchLast;
+    c->acks = p.acks;
+    if (p.func != nullptr) {
+        c->func = makeFunctionalPayload();
+        *c->func = *p.func;
+    }
+    c->sendReady = p.sendReady;
+    c->injectTick = p.injectTick;
+    return c;
+}
+
 const char *
 packetTypeName(PacketType t)
 {

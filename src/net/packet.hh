@@ -177,6 +177,13 @@ PacketPtr makePacket();
 /** Allocate (or recycle) a functional-crypto payload. */
 FunctionalPayloadPtr makeFunctionalPayload();
 
+/**
+ * Deep copy of a packet, functional-crypto material included — what
+ * a physical attacker records when it captures a wire image for a
+ * later replay. The clone is pooled like any other packet.
+ */
+PacketPtr clonePacket(const Packet &p);
+
 } // namespace mgsec
 
 #endif // MGSEC_NET_PACKET_HH

@@ -36,11 +36,29 @@ SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
                 cfg_.msgMacStoragePerPeer,
                 [this](NodeId src, std::uint64_t batch_id) {
                     // Lazy verification done: one cumulative ACK
-                    // covers the whole batch.
-                    if (factory_)
-                        finishFunctionalBatch(src, batch_id);
-                    queueAck(src, AckRecord{self_,
-                                            last_recv_ctr_[src], 0});
+                    // covers the whole batch — but only a batch
+                    // whose MAC actually held. Acknowledging
+                    // unverified counters would let an attacker
+                    // discharge the sender's replay window with
+                    // traffic that never authenticated.
+                    const bool ok = factory_
+                        ? finishFunctionalBatch(src, batch_id)
+                        : true;
+                    // The ACK carries the verified watermark, not
+                    // the replay one: last_recv_ctr_ advances on
+                    // sight, so a counter flipped in flight would
+                    // let it acknowledge (and discharge from the
+                    // peer's replay window) messages that never
+                    // authenticated — or were never even sent.
+                    if (ok && (!factory_ || has_verified_[src])) {
+                        queueAck(src,
+                                 AckRecord{self_,
+                                           factory_
+                                               ? verified_recv_ctr_
+                                                     [src]
+                                               : last_recv_ctr_[src],
+                                           0});
+                    }
                 });
         }
     }
@@ -49,6 +67,8 @@ SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
             cfg_.sessionKey);
     last_recv_ctr_.assign(net_.numNodes(), 0);
     has_recv_.assign(net_.numNodes(), 0);
+    verified_recv_ctr_.assign(net_.numNodes(), 0);
+    has_verified_.assign(net_.numNodes(), 0);
     last_deliver_.assign(net_.numNodes(), 0);
 
     regStat(packets_sent_);
@@ -56,6 +76,10 @@ SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
     regStat(piggybacked_acks_);
     regStat(trailers_);
     regStat(replay_suspects_);
+    // Surfaced with the verify subsystem only, keeping figure-bench
+    // stats dumps stable; the ctrGaps() accessor works regardless.
+    if (cfg_.functionalCrypto)
+        regStat(ctr_gaps_);
     regStat(mac_verified_);
     regStat(mac_failed_);
     regStat(decrypt_ok_);
@@ -207,26 +231,39 @@ SecureChannel::applyFunctionalSend(Packet &pkt)
 }
 
 void
+SecureChannel::advanceVerified(NodeId src, std::uint64_t ctr)
+{
+    if (!has_verified_[src] || ctr > verified_recv_ctr_[src]) {
+        verified_recv_ctr_[src] = ctr;
+        has_verified_[src] = 1;
+    }
+}
+
+bool
 SecureChannel::finishFunctionalBatch(NodeId src,
                                      std::uint64_t batch_id)
 {
     const auto key = std::make_pair(src, batch_id);
     auto it = recv_batches_.find(key);
     if (it == recv_batches_.end())
-        return;
+        return false;
     RecvBatch &rb = it->second;
     if (!rb.haveTrailer)
-        return;
+        return false;
     const crypto::MsgMac expect = factory_->batchMac(
         rb.macs, batchMaskPad(src, self_, batch_id));
-    if (expect == rb.trailer)
+    const bool ok = expect == rb.trailer;
+    if (ok) {
         ++mac_verified_;
-    else
+        advanceVerified(src, rb.maxCtr);
+    } else {
         ++mac_failed_;
+    }
     recv_batches_.erase(it);
+    return ok;
 }
 
-void
+bool
 SecureChannel::verifyFunctionalRecv(const Packet &pkt)
 {
     const crypto::MessagePad pad =
@@ -247,16 +284,21 @@ SecureChannel::verifyFunctionalRecv(const Packet &pkt)
         RecvBatch &rb =
             recv_batches_[std::make_pair(pkt.src, pkt.batchId)];
         rb.macs.push_back(msg_mac);
+        rb.maxCtr = std::max(rb.maxCtr, pkt.msgCtr);
         if (pkt.batchLast && pkt.func && pkt.func->hasMac) {
             rb.trailer = pkt.func->mac;
             rb.haveTrailer = true;
         }
     } else if (pkt.hasMac) {
-        if (pkt.func && pkt.func->hasMac && pkt.func->mac == msg_mac)
+        if (pkt.func && pkt.func->hasMac && pkt.func->mac == msg_mac) {
             ++mac_verified_;
-        else
+            advanceVerified(pkt.src, pkt.msgCtr);
+        } else {
             ++mac_failed_;
+            return false;
+        }
     }
+    return true;
 }
 
 void
@@ -407,9 +449,25 @@ SecureChannel::handleArrival(PacketPtr pkt)
     }
 
     const NodeId src = pkt->src;
-    if (has_recv_[src] && pkt->msgCtr <= last_recv_ctr_[src])
+    // Every scheme but Shared assigns counters contiguously per
+    // (src,dst) pair, so a hole in the arriving stream means
+    // something in flight went missing. Shared draws one global
+    // stream per sender; its holes are routine (sends to peers).
+    if (cfg_.scheme != OtpScheme::Shared) {
+        const bool gap = has_recv_[src]
+                             ? pkt->msgCtr > last_recv_ctr_[src] + 1
+                             : pkt->msgCtr > 0;
+        if (gap)
+            ++ctr_gaps_;
+    }
+    if (has_recv_[src] && pkt->msgCtr <= last_recv_ctr_[src]) {
         ++replay_suspects_;
-    last_recv_ctr_[src] = pkt->msgCtr;
+    } else {
+        // The watermark only moves forward: letting a replayed old
+        // counter rewind it would make a follow-up replay of the
+        // next counter look like a fresh successor.
+        last_recv_ctr_[src] = pkt->msgCtr;
+    }
     has_recv_[src] = 1;
 
     const RecvGrant grant =
@@ -420,14 +478,22 @@ SecureChannel::handleArrival(PacketPtr pkt)
                   static_cast<unsigned long long>(pkt->msgCtr),
                   otpOutcomeName(grant.outcome));
 
-    if (factory_)
-        verifyFunctionalRecv(*pkt);
+    const bool verified =
+        factory_ == nullptr || verifyFunctionalRecv(*pkt);
 
     if (pkt->batchId != 0 && storage_ != nullptr) {
         storage_->onData(src, pkt->batchId, pkt->batchLen,
                          pkt->batchLast && pkt->hasMac);
-    } else if (pkt->isResponse()) {
-        queueAck(src, AckRecord{self_, pkt->msgCtr, 0});
+    } else if (pkt->isResponse() && verified &&
+               (factory_ == nullptr || has_verified_[src])) {
+        // Only authenticated counters draw an ACK: a header flipped
+        // in flight must not be able to mint cumulative coverage
+        // for messages the receiver never verified. The record
+        // carries the verified watermark for the same reason.
+        queueAck(src, AckRecord{self_,
+                                factory_ ? verified_recv_ctr_[src]
+                                         : pkt->msgCtr,
+                                0});
     }
 
     Tick ready = std::max(now(), grant.padReady) + 1;

@@ -83,6 +83,23 @@ class SecureChannel : public SimObject
         return static_cast<std::uint64_t>(standalone_acks_.value());
     }
 
+    /** Stale (<= last seen) counters observed from any peer. */
+    std::uint64_t replaySuspects() const
+    {
+        return static_cast<std::uint64_t>(replay_suspects_.value());
+    }
+
+    /**
+     * Skipped counters observed on per-pair streams. Counters are
+     * assigned contiguously per (src,dst) in every scheme except
+     * Shared, so a hole in the arriving stream means messages were
+     * suppressed in flight (or a sender skipped counters).
+     */
+    std::uint64_t ctrGaps() const
+    {
+        return static_cast<std::uint64_t>(ctr_gaps_.value());
+    }
+
     /** @name Functional-crypto verification outcomes */
     /// @{
     std::uint64_t macsVerified() const
@@ -111,8 +128,16 @@ class SecureChannel : public SimObject
     crypto::MessagePad batchMaskPad(NodeId sender, NodeId receiver,
                                     std::uint64_t batch_id) const;
     void applyFunctionalSend(Packet &pkt);
-    void verifyFunctionalRecv(const Packet &pkt);
-    void finishFunctionalBatch(NodeId src, std::uint64_t batch_id);
+    /**
+     * Per-message receive crypto. Returns false only when this
+     * message's MsgMAC failed right here; batched members defer
+     * their verdict to finishFunctionalBatch().
+     */
+    bool verifyFunctionalRecv(const Packet &pkt);
+    /** Lazy batch verification; true when the batched MAC held. */
+    bool finishFunctionalBatch(NodeId src, std::uint64_t batch_id);
+    /** Extend the verified-counter watermark toward @p src. */
+    void advanceVerified(NodeId src, std::uint64_t ctr);
 
     void finishSend(PacketPtr pkt, Tick departure);
     void queueAck(NodeId peer, const AckRecord &rec);
@@ -141,6 +166,7 @@ class SecureChannel : public SimObject
         std::vector<crypto::MsgMac> macs;
         crypto::MsgMac trailer{};
         bool haveTrailer = false;
+        std::uint64_t maxCtr = 0; ///< highest member counter seen
     };
     std::map<std::pair<NodeId, std::uint64_t>, RecvBatch>
         recv_batches_;
@@ -156,6 +182,17 @@ class SecureChannel : public SimObject
     /** Highest counter seen per source (replay detection). */
     std::vector<std::uint64_t> last_recv_ctr_;
     std::vector<std::uint8_t> has_recv_;
+    /**
+     * Highest counter per source whose MAC actually verified
+     * (individually, or through its batch). Cumulative ACKs draw
+     * from this watermark, never from last_recv_ctr_: the replay
+     * watermark advances on sight and a counter flipped in flight
+     * would otherwise poison it into acknowledging messages the
+     * peer never sent or never authenticated. Only maintained when
+     * functional crypto is on.
+     */
+    std::vector<std::uint64_t> verified_recv_ctr_;
+    std::vector<std::uint8_t> has_verified_;
 
     std::uint64_t next_pkt_id_ = 1;
 
@@ -168,6 +205,8 @@ class SecureChannel : public SimObject
                             "standalone batch trailers sent"};
     stats::Scalar replay_suspects_{"replaySuspects",
                                    "stale counters observed"};
+    stats::Scalar ctr_gaps_{"ctrGaps",
+                            "skipped counters on per-pair streams"};
     stats::Scalar mac_verified_{"macsVerified",
                                 "MsgMAC/batch MACs verified"};
     stats::Scalar mac_failed_{"macsFailed",

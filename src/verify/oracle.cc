@@ -1,0 +1,926 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+
+#include "secure/secure_channel.hh"
+#include "sim/logging.hh"
+
+namespace mgsec::verify
+{
+
+namespace
+{
+
+/**
+ * Reference GHASH over a block sequence with the bit-serial gfmul()
+ * path — deliberately not the table-driven Ghash class the channel
+ * uses, so a table-construction bug cannot hide from the oracle.
+ */
+crypto::U128
+ghashAbsorb(crypto::U128 y, const crypto::U128 &h,
+            const crypto::Block &b)
+{
+    const crypto::U128 x = crypto::blockToU128(b);
+    y.hi ^= x.hi;
+    y.lo ^= x.lo;
+    return crypto::gfmul(y, h);
+}
+
+crypto::Block
+blockFromBytes(const std::uint8_t *p, std::size_t len)
+{
+    crypto::Block b{};
+    std::copy_n(p, len, b.begin());
+    return b;
+}
+
+} // anonymous namespace
+
+SecurityOracle::SecurityOracle(std::uint32_t num_nodes,
+                               const SecurityConfig &cfg)
+    : num_nodes_(num_nodes), cfg_(cfg), gcm_(cfg.sessionKey),
+      hash_key_(crypto::blockToU128(gcm_.hashKey())),
+      shared_used_(num_nodes), shared_max_(num_nodes, 0),
+      recv_peer_(num_nodes,
+                 std::vector<RecvPeer>(num_nodes)),
+      predicted_(num_nodes)
+{
+}
+
+// ------------------------------------------------------- shadow crypto
+
+crypto::Iv96
+SecurityOracle::shadowIv(NodeId sender, NodeId receiver,
+                         std::uint64_t ctr, std::uint8_t domain) const
+{
+    // Re-stated from the spec: 8 B big-endian counter, 12-bit sender
+    // and receiver ids packed little-end-first, 1 B domain.
+    crypto::Iv96 iv{};
+    crypto::store64be(iv.data(), ctr);
+    iv[8] = static_cast<std::uint8_t>(sender & 0xff);
+    iv[9] = static_cast<std::uint8_t>(((sender >> 8) & 0x0f) |
+                                      ((receiver & 0x0f) << 4));
+    iv[10] = static_cast<std::uint8_t>((receiver >> 4) & 0xff);
+    iv[11] = domain;
+    return iv;
+}
+
+void
+SecurityOracle::shadowPad(NodeId sender, NodeId receiver,
+                          std::uint64_t ctr, std::uint8_t *enc64,
+                          std::uint8_t *auth16) const
+{
+    const auto enc =
+        gcm_.keystream(shadowIv(sender, receiver, ctr, 0x01), 64);
+    const auto auth =
+        gcm_.keystream(shadowIv(sender, receiver, ctr, 0x02), 16);
+    std::copy(enc.begin(), enc.end(), enc64);
+    std::copy(auth.begin(), auth.end(), auth16);
+}
+
+crypto::MsgMac
+SecurityOracle::shadowMsgMac(const crypto::BlockPayload &cipher,
+                             NodeId sender, NodeId receiver,
+                             std::uint64_t ctr,
+                             const std::uint8_t *auth16) const
+{
+    crypto::U128 y{};
+    for (std::size_t off = 0; off < cipher.size(); off += 16)
+        y = ghashAbsorb(y, hash_key_,
+                        blockFromBytes(cipher.data() + off, 16));
+    crypto::Block hdr{};
+    crypto::store64be(hdr.data(), ctr);
+    hdr[8] = static_cast<std::uint8_t>(sender);
+    hdr[9] = static_cast<std::uint8_t>(sender >> 8);
+    hdr[10] = static_cast<std::uint8_t>(receiver);
+    hdr[11] = static_cast<std::uint8_t>(receiver >> 8);
+    y = ghashAbsorb(y, hash_key_, hdr);
+    const crypto::Block digest = crypto::u128ToBlock(y);
+    crypto::MsgMac out;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(digest[i] ^ auth16[i]);
+    return out;
+}
+
+crypto::MsgMac
+SecurityOracle::shadowBatchMac(const std::vector<crypto::MsgMac> &macs,
+                               NodeId sender, NodeId receiver,
+                               std::uint64_t batch_id) const
+{
+    crypto::U128 y{};
+    for (const crypto::MsgMac &m : macs)
+        y = ghashAbsorb(y, hash_key_,
+                        blockFromBytes(m.data(), m.size()));
+    const crypto::Block digest = crypto::u128ToBlock(y);
+    // The mask pad is the one both endpoints derive from the batch
+    // id alone (top bit set to separate it from message counters);
+    // the batched MAC uses its auth bytes 8..15.
+    std::uint8_t enc[64];
+    std::uint8_t auth[16];
+    shadowPad(sender, receiver, 0x8000000000000000ULL | batch_id, enc,
+              auth);
+    crypto::MsgMac out;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(digest[i] ^ auth[8 + i]);
+    return out;
+}
+
+crypto::BlockPayload
+SecurityOracle::shadowPlaintext(NodeId src, NodeId dst,
+                                std::uint64_t ctr)
+{
+    // The deterministic plaintext both endpoints synthesize,
+    // re-stated independently of the channel.
+    crypto::BlockPayload p;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] = static_cast<std::uint8_t>(
+            (ctr >> ((i % 8) * 8)) ^ (src * 131) ^ (dst * 193) ^
+            (i * 7));
+    }
+    return p;
+}
+
+// ---------------------------------------------------------- bookkeeping
+
+void
+SecurityOracle::addFinding(FindingKind k, std::string detail)
+{
+    findings_.push_back(Finding{k, std::move(detail)});
+}
+
+void
+SecurityOracle::creditKey(PktKey key)
+{
+    auto it = tampered_.find(key);
+    if (it != tampered_.end())
+        it->second.credited = true;
+    auto jt = injected_.find(key);
+    if (jt != injected_.end())
+        jt->second = true;
+}
+
+// ------------------------------------------------------------ send side
+
+void
+SecurityOracle::validateTrailer(PairKey pair, NodeId src, NodeId dst,
+                                std::uint64_t batch_id,
+                                std::uint8_t expect,
+                                const crypto::MsgMac &mac)
+{
+    auto &batches = send_batches_[pair];
+    auto it = batches.find(batch_id);
+    if (it == batches.end() || it->second.size() != expect) {
+        addFinding(FindingKind::CryptoMismatch,
+                   strformat("trailer on %u->%u batch %llu declares "
+                             "%u members, %zu sent",
+                             src, dst,
+                             static_cast<unsigned long long>(batch_id),
+                             expect,
+                             it == batches.end() ? std::size_t{0}
+                                                 : it->second.size()));
+        if (it != batches.end())
+            batches.erase(it);
+        return;
+    }
+    const crypto::MsgMac want =
+        shadowBatchMac(it->second, src, dst, batch_id);
+    if (want != mac) {
+        addFinding(FindingKind::CryptoMismatch,
+                   strformat("batched MAC diverges on %u->%u batch "
+                             "%llu",
+                             src, dst,
+                             static_cast<unsigned long long>(
+                                 batch_id)));
+    }
+    batches.erase(it);
+}
+
+void
+SecurityOracle::onSent(const Packet &p)
+{
+    ++observed_;
+    const PairKey pair = pairKey(p.src, p.dst);
+
+    if (p.type == PacketType::BatchMac) {
+        // Standalone flush trailer: must carry the batched MAC over
+        // the member MACs accumulated for this batch. The trailer
+        // departs immediately while member sends may still wait on
+        // their pads, so it can legitimately reach the wire first —
+        // defer validation until the declared count of members has
+        // been observed.
+        if (p.func == nullptr || !p.func->hasMac) {
+            addFinding(FindingKind::CryptoMismatch,
+                       strformat("trailer without MAC material on "
+                                 "%u->%u batch %llu",
+                                 p.src, p.dst,
+                                 static_cast<unsigned long long>(
+                                     p.batchId)));
+            return;
+        }
+        auto &batches = send_batches_[pair];
+        auto it = batches.find(p.batchId);
+        const std::size_t have =
+            it == batches.end() ? 0 : it->second.size();
+        if (have < p.batchLen) {
+            pending_trailers_[std::make_pair(pair, p.batchId)] =
+                PendingTrailer{p.batchLen, p.func->mac};
+        } else {
+            validateTrailer(pair, p.src, p.dst, p.batchId, p.batchLen,
+                            p.func->mac);
+        }
+        return;
+    }
+
+    if (!p.secured) {
+        // SecAck and unsecured traffic carry no counters or crypto;
+        // their ACK records are modeled on the delivery side.
+        return;
+    }
+
+    // Counter evolution per scheme. Per-pair schemes assign
+    // contiguous counters in pair order; Shared draws one global
+    // stream per sender whose wire order may interleave across
+    // destinations, so it is checked for uniqueness and per-pair
+    // monotonicity here and for holes at finalize().
+    if (cfg_.scheme == OtpScheme::Shared) {
+        if (!shared_used_[p.src].insert(p.msgCtr).second) {
+            addFinding(FindingKind::CounterAnomaly,
+                       strformat("sender %u reused shared ctr %llu",
+                                 p.src,
+                                 static_cast<unsigned long long>(
+                                     p.msgCtr)));
+        }
+        shared_max_[p.src] =
+            std::max(shared_max_[p.src], p.msgCtr);
+        auto [it, fresh] =
+            shared_pair_last_.try_emplace(pair, p.msgCtr);
+        if (!fresh) {
+            if (p.msgCtr <= it->second) {
+                addFinding(
+                    FindingKind::CounterAnomaly,
+                    strformat("%u->%u sent shared ctr %llu after "
+                              "%llu",
+                              p.src, p.dst,
+                              static_cast<unsigned long long>(
+                                  p.msgCtr),
+                              static_cast<unsigned long long>(
+                                  it->second)));
+            } else {
+                it->second = p.msgCtr;
+            }
+        }
+    } else {
+        std::uint64_t &next = next_pair_ctr_[pair];
+        if (p.msgCtr != next) {
+            addFinding(
+                FindingKind::CounterAnomaly,
+                strformat("%u->%u sent ctr %llu, expected %llu",
+                          p.src, p.dst,
+                          static_cast<unsigned long long>(p.msgCtr),
+                          static_cast<unsigned long long>(next)));
+        }
+        next = p.msgCtr + 1;
+    }
+
+    // Replay-window model: in batching mode every data message is
+    // tracked; otherwise only responses draw a dedicated ACK.
+    if (cfg_.batching || p.isResponse()) {
+        outstanding_[pair].push_back(p.msgCtr);
+        tracked_ctrs_[pair].push_back(p.msgCtr);
+    }
+    sent_stream_[pair].push_back(p.id);
+
+    // Differential crypto: recompute pad, ciphertext and MAC from
+    // scratch and diff them against the optimized path's output.
+    std::uint8_t enc[64];
+    std::uint8_t auth[16];
+    shadowPad(p.src, p.dst, p.msgCtr, enc, auth);
+
+    crypto::BlockPayload cipher{};
+    if (p.payloadBytes >= kBlockBytes) {
+        const crypto::BlockPayload pt =
+            shadowPlaintext(p.src, p.dst, p.msgCtr);
+        crypto::BlockPayload expect;
+        for (std::size_t i = 0; i < expect.size(); ++i)
+            expect[i] = static_cast<std::uint8_t>(pt[i] ^ enc[i]);
+        if (p.func == nullptr || !p.func->hasCipher) {
+            addFinding(FindingKind::CryptoMismatch,
+                       strformat("%u->%u ctr %llu carries no "
+                                 "ciphertext",
+                                 p.src, p.dst,
+                                 static_cast<unsigned long long>(
+                                     p.msgCtr)));
+        } else {
+            cipher = p.func->cipher;
+            if (cipher != expect) {
+                addFinding(FindingKind::CryptoMismatch,
+                           strformat("%u->%u ctr %llu ciphertext "
+                                     "diverges from shadow pad",
+                                     p.src, p.dst,
+                                     static_cast<unsigned long long>(
+                                         p.msgCtr)));
+            }
+        }
+    }
+
+    const crypto::MsgMac mac =
+        shadowMsgMac(cipher, p.src, p.dst, p.msgCtr, auth);
+    if (p.batchId != 0) {
+        send_batches_[pair][p.batchId].push_back(mac);
+        genuine_batches_[pair].emplace(p.batchId, false);
+        // A flush trailer that overtook this member may now have its
+        // full complement.
+        auto pt = pending_trailers_.find(
+            std::make_pair(pair, p.batchId));
+        if (pt != pending_trailers_.end() &&
+            send_batches_[pair][p.batchId].size() >=
+                pt->second.expect) {
+            const PendingTrailer rec = pt->second;
+            pending_trailers_.erase(pt);
+            validateTrailer(pair, p.src, p.dst, p.batchId, rec.expect,
+                            rec.mac);
+        }
+        if (p.batchLast && p.hasMac) {
+            auto &batches = send_batches_[pair];
+            auto it = batches.find(p.batchId);
+            const crypto::MsgMac expect = shadowBatchMac(
+                it->second, p.src, p.dst, p.batchId);
+            if (p.func == nullptr || !p.func->hasMac ||
+                p.func->mac != expect) {
+                addFinding(FindingKind::CryptoMismatch,
+                           strformat("closing batched MAC diverges "
+                                     "on %u->%u batch %llu",
+                                     p.src, p.dst,
+                                     static_cast<unsigned long long>(
+                                         p.batchId)));
+            }
+            batches.erase(it);
+        }
+    } else if (p.hasMac) {
+        if (p.func == nullptr || !p.func->hasMac ||
+            p.func->mac != mac) {
+            addFinding(FindingKind::CryptoMismatch,
+                       strformat("%u->%u ctr %llu MsgMAC diverges "
+                                 "from shadow GHASH",
+                                 p.src, p.dst,
+                                 static_cast<unsigned long long>(
+                                     p.msgCtr)));
+        }
+    }
+}
+
+void
+SecurityOracle::onInjected(const Packet &p)
+{
+    ++observed_;
+    injected_.emplace(pktKey(p.src, p.id), false);
+}
+
+// --------------------------------------------------------- receive side
+
+void
+SecurityOracle::completeBatch(NodeId receiver, NodeId src,
+                              std::uint64_t batch_id)
+{
+    // Mirror of SecureChannel::finishFunctionalBatch: without the
+    // trailer MAC the channel silently skips verification — the
+    // batch then counts as having lost verification.
+    const PairKey from = pairKey(src, receiver);
+    const auto key = std::make_pair(from, batch_id);
+    auto it = recv_batches_.find(key);
+    if (it == recv_batches_.end())
+        return;
+    ShadowRecvBatch &rb = it->second;
+    if (!rb.haveTrailer)
+        return;
+    const crypto::MsgMac expect =
+        shadowBatchMac(rb.macs, src, receiver, batch_id);
+    const bool ok = expect == rb.trailer;
+    if (ok)
+        ++predicted_[receiver].macsVerified;
+    else
+        ++predicted_[receiver].macsFailed;
+    if (!ok) {
+        for (PktKey k : rb.taints)
+            creditKey(k);
+    } else {
+        // The batch verified despite tampered members. Only a
+        // corrupted declared-length overridden by a standalone
+        // trailer's true count is harmless; anything else stays
+        // uncredited and surfaces as an UndetectedAttack.
+        for (PktKey k : rb.taints) {
+            auto t = tampered_.find(k);
+            if (t != tampered_.end() &&
+                t->second.cls == AttackClass::LengthCorrupt) {
+                t->second.credited = true;
+                neutralized_.push_back(strformat(
+                    "LengthCorrupt on %u->%u batch %llu overridden "
+                    "by the standalone trailer's true count",
+                    src, receiver,
+                    static_cast<unsigned long long>(batch_id)));
+            }
+        }
+    }
+    if (!rb.phantom) {
+        auto gb = genuine_batches_.find(from);
+        if (gb != genuine_batches_.end()) {
+            auto bt = gb->second.find(batch_id);
+            if (bt != gb->second.end())
+                bt->second = true; // verification ran
+        }
+    }
+    recv_batches_.erase(it);
+}
+
+void
+SecurityOracle::processDeliveredData(const Packet &p, bool injected)
+{
+    const NodeId r = p.dst;
+    const NodeId src = p.src;
+    Predicted &pr = predicted_[r];
+
+    RecvPeer &peer = recv_peer_[r][src];
+    if (cfg_.scheme != OtpScheme::Shared) {
+        const bool gap = peer.has ? p.msgCtr > peer.lastCtr + 1
+                                  : p.msgCtr > 0;
+        if (gap)
+            ++pr.ctrGaps;
+    }
+    if (peer.has && p.msgCtr <= peer.lastCtr)
+        ++pr.replaySuspects;
+    else
+        peer.lastCtr = p.msgCtr; // watermark is monotonic
+    peer.has = true;
+
+    // verifyFunctionalRecv shadow.
+    std::uint8_t enc[64];
+    std::uint8_t auth[16];
+    shadowPad(src, r, p.msgCtr, enc, auth);
+    crypto::BlockPayload cipher{};
+    if (p.func != nullptr && p.func->hasCipher) {
+        cipher = p.func->cipher;
+        crypto::BlockPayload plain;
+        for (std::size_t i = 0; i < plain.size(); ++i)
+            plain[i] = static_cast<std::uint8_t>(cipher[i] ^ enc[i]);
+        if (plain == shadowPlaintext(src, r, p.msgCtr))
+            ++pr.decryptsOk;
+        else
+            ++pr.decryptsBad;
+    }
+    const crypto::MsgMac mac =
+        shadowMsgMac(cipher, src, r, p.msgCtr, auth);
+
+    const PairKey from = pairKey(src, r);
+    if (p.batchId != 0) {
+        const auto key = std::make_pair(from, p.batchId);
+        auto [it, fresh] = recv_batches_.try_emplace(key);
+        ShadowRecvBatch &rb = it->second;
+        if (fresh && injected)
+            rb.phantom = true;
+        rb.macs.push_back(mac);
+        const PktKey pk = pktKey(src, p.id);
+        if (injected || tampered_.count(pk) != 0)
+            rb.taints.push_back(pk);
+        if (p.batchLast && p.func != nullptr && p.func->hasMac) {
+            rb.trailer = p.func->mac;
+            rb.haveTrailer = true;
+        }
+    } else if (p.hasMac) {
+        const bool ok = p.func != nullptr && p.func->hasMac &&
+                        p.func->mac == mac;
+        if (ok)
+            ++pr.macsVerified;
+        else
+            ++pr.macsFailed;
+    }
+
+    // MsgMacStorage shadow (batching mode only, like the channel).
+    if (p.batchId != 0 && cfg_.batching) {
+        const auto key = std::make_pair(from, p.batchId);
+        auto [it, fresh] = storage_.try_emplace(key);
+        ShadowPending &sp = it->second;
+        if (fresh && injected)
+            sp.phantom = true;
+        ++sp.received;
+        if (p.batchLen != 0)
+            sp.declared = p.batchLen;
+        const PktKey pk = pktKey(src, p.id);
+        if (injected || tampered_.count(pk) != 0)
+            sp.taints.push_back(pk);
+        if (p.batchLast && p.hasMac) {
+            sp.trailer = true;
+            sp.expected = sp.declared != 0
+                ? sp.declared
+                : static_cast<std::uint8_t>(sp.received);
+        }
+        if (sp.trailer && sp.expected != 0 &&
+            sp.received >= sp.expected) {
+            storage_.erase(it);
+            completeBatch(r, src, p.batchId);
+        }
+    }
+}
+
+void
+SecurityOracle::onDelivered(const Packet &p)
+{
+    // Every secured data delivery either consumes its genuine copy
+    // from the pair's sent stream (resolving skipped ids as losses)
+    // or is an injected clone of an already-consumed original.
+    bool injected = false;
+    if (p.secured && p.type != PacketType::SecAck &&
+        p.type != PacketType::BatchMac)
+        injected = sentStreamFrontIsNot(p);
+    const NodeId r = p.dst;
+    Predicted before = predicted_[r];
+
+    // Cumulative ACKs act on the receiver's replay window toward the
+    // packet's sender, whatever the packet type.
+    for (std::size_t i = 0; i < p.acks.size(); ++i) {
+        const AckRecord &rec = p.acks[i];
+        const PairKey k = pairKey(r, p.src);
+        auto &q = outstanding_[k];
+        while (!q.empty() && q.front() <= rec.upToCtr)
+            q.pop_front();
+        auto [it, fresh] = max_acked_.try_emplace(k, rec.upToCtr);
+        if (!fresh)
+            it->second = std::max(it->second, rec.upToCtr);
+    }
+
+    switch (p.type) {
+      case PacketType::SecAck:
+        break;
+      case PacketType::BatchMac: {
+        const PairKey from = pairKey(p.src, r);
+        const auto key = std::make_pair(from, p.batchId);
+        if (p.func != nullptr && p.func->hasMac) {
+            ShadowRecvBatch &rb = recv_batches_[key];
+            rb.trailer = p.func->mac;
+            rb.haveTrailer = true;
+            const PktKey pk = pktKey(p.src, p.id);
+            if (tampered_.count(pk) != 0)
+                rb.taints.push_back(pk);
+        }
+        if (cfg_.batching) {
+            ShadowPending &sp = storage_[key];
+            sp.trailer = true;
+            sp.expected = p.batchLen;
+            if (sp.trailer && sp.expected != 0 &&
+                sp.received >= sp.expected) {
+                storage_.erase(key);
+                completeBatch(r, p.src, p.batchId);
+            }
+        }
+        break;
+      }
+      default:
+        if (p.secured)
+            processDeliveredData(p, injected);
+        break;
+    }
+
+    // Attribute any fresh failure signal to the attack that caused
+    // it; batch-deferred effects are credited via taints instead.
+    const Predicted &after = predicted_[r];
+    const bool signal = after.macsFailed > before.macsFailed ||
+                        after.decryptsBad > before.decryptsBad ||
+                        after.replaySuspects > before.replaySuspects ||
+                        after.ctrGaps > before.ctrGaps;
+    if (signal)
+        creditKey(pktKey(p.src, p.id));
+}
+
+bool
+SecurityOracle::sentStreamFrontIsNot(const Packet &p)
+{
+    // A replayed clone shares (src, id) with its genuine original;
+    // the genuine copy is the one still at the front of the sent
+    // stream. When the front no longer carries this id (the original
+    // was consumed), this delivery is the injected clone. While
+    // consuming the genuine copy, also resolve any ids skipped ahead
+    // of it: those packets were lost in flight.
+    const PairKey pair = pairKey(p.src, p.dst);
+    auto it = sent_stream_.find(pair);
+    if (it == sent_stream_.end())
+        return true;
+    auto &q = it->second;
+    std::size_t skip = 0;
+    while (skip < q.size() && q[skip] != p.id)
+        ++skip;
+    if (skip == q.size())
+        return true; // not in the stream: injected
+    for (std::size_t i = 0; i < skip; ++i) {
+        resolveLost(p.src, p.dst, q.front(), true);
+        q.pop_front();
+    }
+    q.pop_front();
+    return false; // the genuine copy
+}
+
+void
+SecurityOracle::resolveLost(NodeId src, NodeId dst, std::uint64_t id,
+                            bool gap_seen)
+{
+    // A genuine message vanished from its pair's FIFO stream. If the
+    // adversary claimed the drop, attribute it — and when a later
+    // delivery exposed the hole, per-pair-counter schemes saw it as
+    // a ctrGap, so the channel detected it too. Unclaimed losses are
+    // simulator bugs.
+    for (DroppedData &d : dropped_data_) {
+        if (!d.attributed && d.src == src && d.dst == dst &&
+            d.id == id) {
+            d.attributed = true;
+            if (gap_seen && cfg_.scheme != OtpScheme::Shared)
+                d.detected = true;
+            return;
+        }
+    }
+    addFinding(FindingKind::LostMessage,
+               strformat("%u->%u packet id %llu vanished in flight",
+                         src, dst,
+                         static_cast<unsigned long long>(id)));
+}
+
+void
+SecurityOracle::onDropped(const Packet &p)
+{
+    for (std::size_t i = 0; i < p.acks.size(); ++i) {
+        dropped_acks_.push_back(DroppedAck{
+            p.dst, p.src, p.acks[i].upToCtr, false});
+    }
+    if (p.secured && p.type != PacketType::SecAck &&
+        p.type != PacketType::BatchMac) {
+        const bool in_window = cfg_.batching || p.isResponse();
+        dropped_data_.push_back(DroppedData{
+            p.src, p.dst, p.id, p.msgCtr, p.batchId, in_window,
+            false, false});
+    }
+}
+
+void
+SecurityOracle::noteTampered(NodeId src, std::uint64_t id,
+                             AttackClass cls)
+{
+    tampered_.emplace(pktKey(src, id), TamperRec{cls, false});
+}
+
+// -------------------------------------------------------------- finalize
+
+std::vector<Finding>
+SecurityOracle::finalize(const std::vector<SecureChannel *> &channels)
+{
+    // 1. Differential check: the real channels must have concluded
+    //    exactly what the shadow model concluded.
+    for (NodeId n = 0; n < channels.size(); ++n) {
+        const SecureChannel *ch = channels[n];
+        const Predicted &pr = predicted_[n];
+        auto diff = [&](const char *what, std::uint64_t got,
+                        std::uint64_t want) {
+            if (got != want) {
+                addFinding(
+                    FindingKind::Divergence,
+                    strformat("node %u %s: channel %llu, oracle %llu",
+                              n, what,
+                              static_cast<unsigned long long>(got),
+                              static_cast<unsigned long long>(want)));
+            }
+        };
+        diff("macsVerified", ch->macsVerified(), pr.macsVerified);
+        diff("macsFailed", ch->macsFailed(), pr.macsFailed);
+        diff("decryptsOk", ch->decryptsOk(), pr.decryptsOk);
+        diff("decryptsBad", ch->decryptsBad(), pr.decryptsBad);
+        diff("replaySuspects", ch->replaySuspects(),
+             pr.replaySuspects);
+        diff("ctrGaps", ch->ctrGaps(), pr.ctrGaps);
+        for (NodeId peer = 0; peer < num_nodes_; ++peer) {
+            if (peer == n)
+                continue;
+            const auto it = outstanding_.find(pairKey(n, peer));
+            const std::size_t want =
+                it == outstanding_.end() ? 0 : it->second.size();
+            const std::size_t got =
+                ch->replayWindow().outstanding(peer);
+            if (got != want) {
+                addFinding(
+                    FindingKind::Divergence,
+                    strformat("node %u outstanding[%u]: channel %zu, "
+                              "oracle %zu",
+                              n, peer, got, want));
+            }
+        }
+    }
+    // 2. Shared-scheme streams must end hole-free: a counter a
+    //    sender never put on the wire means a pad was skipped (or
+    //    burned without a message) somewhere in the channel.
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+        const std::set<std::uint64_t> &used = shared_used_[n];
+        if (used.empty() || used.size() == shared_max_[n] + 1)
+            continue;
+        std::uint64_t expect = 0;
+        for (std::uint64_t c : used) {
+            if (c != expect)
+                break;
+            ++expect;
+        }
+        addFinding(FindingKind::CounterAnomaly,
+                   strformat("sender %u never sent shared ctr %llu",
+                             n,
+                             static_cast<unsigned long long>(expect)));
+    }
+
+    // 3. Unconsumed genuine messages: tail drops (nothing later on
+    //    the pair exposed the gap) and in-flight losses.
+    for (auto &[pair, q] : sent_stream_) {
+        const NodeId src = static_cast<NodeId>(pair / num_nodes_);
+        const NodeId dst = static_cast<NodeId>(pair % num_nodes_);
+        while (!q.empty()) {
+            resolveLost(src, dst, q.front(), false);
+            q.pop_front();
+        }
+    }
+
+    // 3b. Flush trailers still waiting for members at drain: the
+    //     sender closed a batch whose members never all reached the
+    //     wire.
+    for (const auto &[key, rec] : pending_trailers_) {
+        const NodeId src = static_cast<NodeId>(key.first / num_nodes_);
+        const NodeId dst = static_cast<NodeId>(key.first % num_nodes_);
+        const auto bt = send_batches_.find(key.first);
+        std::size_t have = 0;
+        if (bt != send_batches_.end()) {
+            const auto m = bt->second.find(key.second);
+            if (m != bt->second.end())
+                have = m->second.size();
+        }
+        addFinding(FindingKind::CryptoMismatch,
+                   strformat("trailer on %u->%u batch %llu still "
+                             "short: %zu of %u members reached the "
+                             "wire",
+                             src, dst,
+                             static_cast<unsigned long long>(
+                                 key.second),
+                             have, rec.expect));
+    }
+
+    // 4. Genuine batches that never ran MAC verification.
+    for (const auto &[pair, batches] : genuine_batches_) {
+        const NodeId src = static_cast<NodeId>(pair / num_nodes_);
+        const NodeId dst = static_cast<NodeId>(pair % num_nodes_);
+        for (const auto &[id, verified] : batches) {
+            if (verified)
+                continue;
+            ++stranded_batches_;
+            // The strand itself is the detection signal; credit
+            // whoever caused it. Unattributable strands are bugs.
+            bool attributed = false;
+            const auto key = std::make_pair(pair, id);
+            auto sp = storage_.find(key);
+            if (sp != storage_.end()) {
+                for (PktKey k : sp->second.taints) {
+                    creditKey(k);
+                    attributed = true;
+                }
+            }
+            auto rb = recv_batches_.find(key);
+            if (rb != recv_batches_.end()) {
+                for (PktKey k : rb->second.taints) {
+                    creditKey(k);
+                    attributed = true;
+                }
+            }
+            for (DroppedData &d : dropped_data_) {
+                if (d.src == src && d.dst == dst && d.batchId == id) {
+                    // The strand itself is the channel's signal.
+                    d.attributed = true;
+                    d.detected = true;
+                    attributed = true;
+                }
+            }
+            if (!attributed) {
+                addFinding(
+                    FindingKind::LostVerification,
+                    strformat("batch %llu on %u->%u never verified",
+                              static_cast<unsigned long long>(id),
+                              src, dst));
+            }
+        }
+    }
+
+    // 5. Dropped-ACK expectations: an uncovered drop must leave the
+    //    sender's window non-empty; a covered one was neutralized by
+    //    a later cumulative ACK (reported, not silently passed).
+    for (DroppedAck &d : dropped_acks_) {
+        const PairKey k = pairKey(d.owner, d.peer);
+        const auto it = outstanding_.find(k);
+        const bool outstanding =
+            it != outstanding_.end() && !it->second.empty();
+        // What the drop could actually have discharged: the highest
+        // window-tracked counter at or below its upTo. Coverage
+        // past that is vacuous (verified watermarks ride ahead on
+        // request counters no window holds).
+        std::uint64_t effective = 0;
+        bool covers_anything = false;
+        if (const auto tc = tracked_ctrs_.find(k);
+            tc != tracked_ctrs_.end()) {
+            for (const std::uint64_t c : tc->second) {
+                if (c <= d.upTo) {
+                    effective = std::max(effective, c);
+                    covers_anything = true;
+                }
+            }
+        }
+        if (outstanding) {
+            d.credited = true;
+        } else if (!covers_anything) {
+            d.credited = true;
+            neutralized_.push_back(strformat(
+                "AckDrop up to %llu on %u<-%u covered no tracked "
+                "counter",
+                static_cast<unsigned long long>(d.upTo), d.owner,
+                d.peer));
+        } else {
+            const auto ma = max_acked_.find(k);
+            if (ma != max_acked_.end() && ma->second >= effective) {
+                d.credited = true;
+                neutralized_.push_back(strformat(
+                    "AckDrop up to %llu on %u<-%u covered by a later "
+                    "cumulative ACK",
+                    static_cast<unsigned long long>(d.upTo), d.owner,
+                    d.peer));
+            } else {
+                addFinding(
+                    FindingKind::UndetectedAttack,
+                    strformat("dropped ACK (up to %llu, %u<-%u) left "
+                              "no trace",
+                              static_cast<unsigned long long>(d.upTo),
+                              d.owner, d.peer));
+            }
+        }
+    }
+
+    // 6. Dropped data not yet detected through a ctr gap or a
+    //    strand: the sender's replay window must still hold the
+    //    counter at drain, else the drop left no trace anywhere.
+    for (DroppedData &d : dropped_data_) {
+        if (d.detected)
+            continue;
+        const auto it = outstanding_.find(pairKey(d.src, d.dst));
+        const bool held =
+            d.inWindow && it != outstanding_.end() &&
+            std::find(it->second.begin(), it->second.end(), d.ctr) !=
+                it->second.end();
+        if (held) {
+            d.detected = true; // unacked at drain: the window flags it
+            continue;
+        }
+        if (!d.inWindow) {
+            // A tail request drop outside the replay window is the
+            // protocol's documented blind spot (cumulative ACKs do
+            // not cover requests in per-message mode, and no later
+            // delivery exposed a counter gap).
+            addFinding(FindingKind::UndetectedAttack,
+                       strformat("dropped request (%u->%u ctr %llu) "
+                                 "left no trace",
+                                 d.src, d.dst,
+                                 static_cast<unsigned long long>(
+                                     d.ctr)));
+        } else {
+            addFinding(FindingKind::UndetectedAttack,
+                       strformat("dropped data (%u->%u ctr %llu) "
+                                 "left no trace",
+                                 d.src, d.dst,
+                                 static_cast<unsigned long long>(
+                                     d.ctr)));
+        }
+    }
+
+    // 7. Injected packets must each have raised a replay suspicion
+    //    or MAC failure.
+    for (const auto &[key, credited] : injected_) {
+        if (!credited) {
+            addFinding(FindingKind::UndetectedAttack,
+                       strformat("injected replay of packet id %llu "
+                                 "from %u raised no signal",
+                                 static_cast<unsigned long long>(
+                                     key & 0xffffffffffffULL),
+                                 static_cast<unsigned>(key >> 48)));
+        }
+    }
+
+    // 8. Tampered packets whose mutation never produced a signal.
+    for (const auto &[key, rec] : tampered_) {
+        if (!rec.credited) {
+            addFinding(FindingKind::UndetectedAttack,
+                       strformat("%s on packet id %llu from %u was "
+                                 "not detected",
+                                 attackClassName(rec.cls),
+                                 static_cast<unsigned long long>(
+                                     key & 0xffffffffffffULL),
+                                 static_cast<unsigned>(key >> 48)));
+        }
+    }
+
+    return findings_;
+}
+
+} // namespace mgsec::verify

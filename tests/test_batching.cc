@@ -287,3 +287,117 @@ TEST(ReplayWindow, PeakAndOverflowStats)
     w.ackUpTo(1, 2);
     EXPECT_EQ(w.peak(), 3u); // peak is sticky
 }
+
+// -------------------------------------------- batching edge cases
+
+TEST(MsgMacStorage, TrailerArrivingBeforeAnyDataStillCompletes)
+{
+    // Out-of-order delivery can hand the receiver the standalone
+    // trailer before a single group member: the declared count must
+    // be parked and the batch must close exactly when the last
+    // member lands, not before.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onTrailer(2, 11, 3);
+    EXPECT_TRUE(log.recs.empty());
+    st.onData(2, 11, 3, false);
+    st.onData(2, 11, 0, false);
+    EXPECT_TRUE(log.recs.empty()) << "completed one member short";
+    st.onData(2, 11, 0, false);
+    ASSERT_EQ(log.recs.size(), 1u);
+    EXPECT_EQ(log.recs[0].second, 11u);
+    EXPECT_EQ(st.occupancy(2), 0u);
+}
+
+TEST(MsgMacStorage, GroupOfSizeOneCompletesOnStandaloneTrailer)
+{
+    // An idle flush right after the opening message produces the
+    // smallest legal group: one member, one trailer.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onData(2, 21, 16, false);
+    EXPECT_TRUE(log.recs.empty());
+    st.onTrailer(2, 21, 1);
+    ASSERT_EQ(log.recs.size(), 1u);
+    EXPECT_EQ(st.occupancy(2), 0u);
+}
+
+TEST(MsgMacStorage, GroupOfSizeOneTrailerFirst)
+{
+    // Same group, opposite arrival order.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onTrailer(2, 22, 1);
+    EXPECT_TRUE(log.recs.empty());
+    st.onData(2, 22, 16, false);
+    EXPECT_EQ(log.recs.size(), 1u);
+}
+
+TEST(BatchAssembler, TimeoutRightAfterOpeningFlushesGroupOfOne)
+{
+    // Sender side of the same edge: a batch that never got a second
+    // member flushes with count 1 and the length byte the first
+    // message already declared stays an over-estimate the trailer
+    // corrects.
+    EventQueue eq;
+    FlushLog log;
+    BatchAssembler a("a", eq, 4, 16, 400, log.fn());
+    const BatchTag t = a.onSend(2);
+    EXPECT_EQ(t.declaredLen, 16u);
+    eq.run();
+    ASSERT_EQ(log.recs.size(), 1u);
+    EXPECT_EQ(log.recs[0].id, t.batchId);
+    EXPECT_EQ(log.recs[0].count, 1u);
+}
+
+TEST(MsgMacStorage, InflatedLengthFieldStrandsTheBatch)
+{
+    // A corrupted 1 B length field claiming more members than the
+    // batch has must never let verification complete: the parked
+    // MACs stay stranded (the run-end sweep reports them) instead of
+    // releasing data whose batched MAC covered fewer messages.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onData(2, 31, 7, false); // corrupt: batch really has 3
+    st.onData(2, 31, 0, false);
+    st.onData(2, 31, 0, true);  // in-band trailer, expected stays 7
+    EXPECT_TRUE(log.recs.empty());
+    EXPECT_EQ(st.completions(), 0u);
+    EXPECT_EQ(st.occupancy(2), 3u) << "stranded MACs must stay parked";
+}
+
+TEST(MsgMacStorage, DeflatedLengthFieldIsCorrectedByTrailer)
+{
+    // Corruption the other way: the length byte under-counts. The
+    // standalone trailer carries the authoritative count, so the
+    // batch still waits for every member.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onData(2, 32, 1, false); // corrupt: batch really has 3
+    st.onData(2, 32, 0, false);
+    st.onTrailer(2, 32, 3);
+    EXPECT_TRUE(log.recs.empty()) << "trailer count must win";
+    st.onData(2, 32, 0, false);
+    EXPECT_EQ(log.recs.size(), 1u);
+}
+
+TEST(MsgMacStorage, ZeroedLengthFieldFallsBackToReceivedCount)
+{
+    // A zeroed length byte is indistinguishable from "not the first
+    // message": the in-band trailer then trusts what actually
+    // arrived. Document that fallback — the verify layer's oracle is
+    // what catches a member lost under a zeroed length.
+    EventQueue eq;
+    CompleteLog log;
+    MsgMacStorage st("st", eq, 4, 64, log.fn());
+    st.onData(2, 33, 0, false); // length byte wiped to 0
+    st.onData(2, 33, 0, false);
+    st.onData(2, 33, 0, true);
+    ASSERT_EQ(log.recs.size(), 1u);
+    EXPECT_EQ(st.completions(), 1u);
+}

@@ -271,3 +271,173 @@ TEST(WorkloadIntensity, RpkiClassesOrderRemoteTrafficDensity)
     // And the extremes are far apart, as >1000 vs <100 RPKI implies.
     EXPECT_GT(high, 5.0 * low);
 }
+
+// --------------------------------------------------- negative vectors
+
+namespace
+{
+
+AesGcm
+gcmFor(const Vector &v, Iv96 &iv)
+{
+    std::array<std::uint8_t, 16> key{};
+    const auto kb = unhex(v.key);
+    std::copy(kb.begin(), kb.end(), key.begin());
+    const auto ib = unhex(v.iv);
+    std::copy(ib.begin(), ib.end(), iv.begin());
+    return AesGcm(key);
+}
+
+Block
+tagOf(const Vector &v)
+{
+    Block tag{};
+    const auto tb = unhex(v.tag);
+    std::copy(tb.begin(), tb.end(), tag.begin());
+    return tag;
+}
+
+} // anonymous namespace
+
+class GcmNegative : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GcmNegative, TruncatedTagRejected)
+{
+    // A tag cut to 8 or 4 bytes (zero-padded back to block size, as
+    // a lazy wire format would) must not authenticate.
+    const Vector &v = kVectors[GetParam()];
+    Iv96 iv{};
+    AesGcm gcm = gcmFor(v, iv);
+    std::vector<std::uint8_t> pt;
+    for (const std::size_t keep : {8u, 4u}) {
+        Block cut = tagOf(v);
+        std::fill(cut.begin() + keep, cut.end(),
+                  static_cast<std::uint8_t>(0));
+        EXPECT_FALSE(gcm.open(iv, unhex(v.ct), cut, pt, unhex(v.aad)))
+            << "tag truncated to " << keep << " bytes accepted";
+    }
+}
+
+TEST_P(GcmNegative, EveryTagBitFlipRejected)
+{
+    const Vector &v = kVectors[GetParam()];
+    Iv96 iv{};
+    AesGcm gcm = gcmFor(v, iv);
+    const auto ct = unhex(v.ct);
+    const auto aad = unhex(v.aad);
+    std::vector<std::uint8_t> pt;
+    for (int bit = 0; bit < 128; ++bit) {
+        Block tag = tagOf(v);
+        tag[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(gcm.open(iv, ct, tag, pt, aad))
+            << "tag accepted with bit " << bit << " flipped";
+    }
+}
+
+TEST_P(GcmNegative, WrongAadRejected)
+{
+    const Vector &v = kVectors[GetParam()];
+    Iv96 iv{};
+    AesGcm gcm = gcmFor(v, iv);
+    const auto ct = unhex(v.ct);
+    const Block tag = tagOf(v);
+    std::vector<std::uint8_t> pt;
+
+    // A flipped AAD bit breaks authentication even though the
+    // ciphertext is untouched.
+    auto aad = unhex(v.aad);
+    if (!aad.empty()) {
+        aad[0] ^= 0x01;
+        EXPECT_FALSE(gcm.open(iv, ct, tag, pt, aad));
+        // So does dropping the AAD entirely.
+        EXPECT_FALSE(gcm.open(iv, ct, tag, pt, {}));
+    }
+    // And so does AAD the sealer never saw.
+    auto extended = unhex(v.aad);
+    extended.push_back(0x00);
+    EXPECT_FALSE(gcm.open(iv, ct, tag, pt, extended));
+}
+
+TEST_P(GcmNegative, CiphertextBitFlipRejected)
+{
+    const Vector &v = kVectors[GetParam()];
+    Iv96 iv{};
+    AesGcm gcm = gcmFor(v, iv);
+    const auto aad = unhex(v.aad);
+    const Block tag = tagOf(v);
+    std::vector<std::uint8_t> pt;
+    const auto clean = unhex(v.ct);
+    if (clean.empty())
+        GTEST_SKIP() << "AAD-only vector has no ciphertext";
+    // First, middle, and last byte each poisoned in turn.
+    for (const std::size_t at :
+         {std::size_t{0}, clean.size() / 2, clean.size() - 1}) {
+        auto ct = clean;
+        ct[at] ^= 0x80;
+        EXPECT_FALSE(gcm.open(iv, ct, tag, pt, aad))
+            << "flip at byte " << at << " accepted";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vectors, GcmNegative,
+                         ::testing::Range(0, 3));
+
+TEST(GcmNonceReuse, SameKeyIvLeaksPlaintextXor)
+{
+    // The reason the channel's counter invariants exist: sealing two
+    // different messages under one (key, IV) pair reuses the
+    // keystream, so ct1 XOR ct2 equals pt1 XOR pt2 — the adversary
+    // reads plaintext structure without any key material. The oracle
+    // treats a repeated (sender, ctr) as a CounterAnomaly precisely
+    // because this is unrecoverable.
+    const std::array<std::uint8_t, 16> key{
+        0x4b, 0x5c, 0x6d, 0x7e, 0x8f, 0x90, 0xa1, 0xb2,
+        0xc3, 0xd4, 0xe5, 0xf6, 0x07, 0x18, 0x29, 0x3a};
+    Iv96 iv{};
+    for (std::size_t i = 0; i < iv.size(); ++i)
+        iv[i] = static_cast<std::uint8_t>(0x10 + i);
+
+    AesGcm gcm(key);
+    const std::vector<std::uint8_t> pt1 = unhex(
+        "00112233445566778899aabbccddeeff0011223344");
+    const std::vector<std::uint8_t> pt2 = unhex(
+        "ffeeddccbbaa99887766554433221100ffeeddccbb");
+    const GcmSealed s1 = gcm.seal(iv, pt1);
+    const GcmSealed s2 = gcm.seal(iv, pt2);
+
+    ASSERT_EQ(s1.ciphertext.size(), s2.ciphertext.size());
+    for (std::size_t i = 0; i < pt1.size(); ++i) {
+        EXPECT_EQ(s1.ciphertext[i] ^ s2.ciphertext[i],
+                  pt1[i] ^ pt2[i])
+            << "keystream did not cancel at byte " << i;
+    }
+
+    // The reused pair also breaks authentication transplants: the
+    // tag of message 1 must not validate message 2's ciphertext.
+    std::vector<std::uint8_t> pt;
+    EXPECT_FALSE(gcm.open(iv, s2.ciphertext, s1.tag, pt));
+}
+
+TEST(GcmNonceReuse, TagIsBoundToItsIv)
+{
+    // A (key, ctr) pair replayed under a different IV — the splice
+    // attack's crypto core — cannot carry its tag along.
+    const std::array<std::uint8_t, 16> key{
+        0x4b, 0x5c, 0x6d, 0x7e, 0x8f, 0x90, 0xa1, 0xb2,
+        0xc3, 0xd4, 0xe5, 0xf6, 0x07, 0x18, 0x29, 0x3a};
+    Iv96 iv_a{}, iv_b{};
+    for (std::size_t i = 0; i < iv_a.size(); ++i) {
+        iv_a[i] = static_cast<std::uint8_t>(i);
+        iv_b[i] = static_cast<std::uint8_t>(i);
+    }
+    iv_b[11] ^= 0x01; // neighbouring counter
+
+    AesGcm gcm(key);
+    const std::vector<std::uint8_t> msg = unhex(
+        "d0d1d2d3d4d5d6d7d8d9dadbdcdddedf");
+    const GcmSealed sealed = gcm.seal(iv_a, msg);
+    std::vector<std::uint8_t> pt;
+    ASSERT_TRUE(gcm.open(iv_a, sealed.ciphertext, sealed.tag, pt));
+    EXPECT_FALSE(gcm.open(iv_b, sealed.ciphertext, sealed.tag, pt));
+}

@@ -203,6 +203,168 @@ TEST(Network, PortUtilizationQueries)
     EXPECT_DOUBLE_EQ(net.pcieDown(1).busyCycles(), 0.0);
 }
 
+TEST(NetworkTamper, PreWireMutationChangesAccountingAndTiming)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{1.0, 0});
+    Tick arrive = 0;
+    net.setHandler(2, [&](PacketPtr) { arrive = eq.now(); });
+    // The attacker inflates the packet before it touches the wire:
+    // both the byte accounting and the serialization must see the
+    // mutated size.
+    net.setTamper(Network::TamperPoint::PreWire, [](Packet &p) {
+        p.headerBytes += 90;
+        return Network::TamperVerdict::Forward;
+    });
+    net.send(makePkt(1, 2, 10, 0));
+    eq.run();
+    EXPECT_EQ(net.classBytes(TrafficClass::Header), 100u);
+    EXPECT_EQ(net.totalBytes(), 100u);
+    EXPECT_EQ(arrive, 200u); // 100 egress + 100 ingress at 1 B/cycle
+}
+
+TEST(NetworkTamper, PostWireSeesExactWireBytesAndCannotRewriteThem)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{1.0, 0});
+    Tick arrive = 0;
+    Bytes seen = 0;
+    net.setHandler(2, [&](PacketPtr) { arrive = eq.now(); });
+    net.setTamper(Network::TamperPoint::PostWire, [&](Packet &p) {
+        // Accounting is already committed: the hook observes the
+        // exact wire image...
+        seen = p.wireBytes();
+        // ...and mutating byte fields now cannot change what the
+        // wire already carried.
+        p.headerBytes += 900;
+        return Network::TamperVerdict::Forward;
+    });
+    net.send(makePkt(1, 2, 10, 0));
+    eq.run();
+    EXPECT_EQ(seen, 10u);
+    EXPECT_EQ(net.totalBytes(), 10u);
+    EXPECT_EQ(arrive, 20u); // timing reflects the true 10 wire bytes
+}
+
+TEST(NetworkTamper, BothPointsFireInOrderOnEveryPacket)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{16.0, 1});
+    net.setHandler(2, [](PacketPtr) {});
+    std::vector<int> order;
+    net.setTamper(Network::TamperPoint::PreWire, [&](Packet &) {
+        order.push_back(0);
+        return Network::TamperVerdict::Forward;
+    });
+    net.setTamper(Network::TamperPoint::PostWire, [&](Packet &) {
+        order.push_back(1);
+        return Network::TamperVerdict::Forward;
+    });
+    net.send(makePkt(1, 2, 16, 0));
+    net.send(makePkt(1, 2, 16, 0));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(NetworkTamper, PreWireDropLeavesNoTraceOnTheWire)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{16.0, 1});
+    bool delivered = false;
+    net.setHandler(2, [&](PacketPtr) { delivered = true; });
+    net.setTamper(Network::TamperPoint::PreWire, [](Packet &) {
+        return Network::TamperVerdict::Drop;
+    });
+    net.send(makePkt(1, 2, 16, 64));
+    eq.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(net.droppedPackets(), 1u);
+    // A pre-wire drop never occupied the interconnect: no bytes,
+    // no packets, no port busy time.
+    EXPECT_EQ(net.totalPackets(), 0u);
+    EXPECT_EQ(net.totalBytes(), 0u);
+    EXPECT_DOUBLE_EQ(net.nvlinkEgress(1).busyCycles(), 0.0);
+    EXPECT_EQ(net.inFlight(), 0u);
+}
+
+TEST(NetworkTamper, PostWireDropConsumesBandwidthButNeverArrives)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{16.0, 1});
+    bool delivered = false;
+    net.setHandler(2, [&](PacketPtr) { delivered = true; });
+    net.setTamper(Network::TamperPoint::PostWire, [](Packet &) {
+        return Network::TamperVerdict::Drop;
+    });
+    net.send(makePkt(1, 2, 16, 64));
+    eq.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(net.droppedPackets(), 1u);
+    // The bytes crossed the wire (in-flight loss): accounting and
+    // port occupancy reflect them.
+    EXPECT_EQ(net.totalBytes(), 80u);
+    EXPECT_DOUBLE_EQ(net.nvlinkEgress(1).busyCycles(), 5.0);
+    EXPECT_EQ(net.inFlight(), 0u);
+}
+
+TEST(NetworkTamper, LegacySetTamperMountsPostWire)
+{
+    EventQueue eq;
+    Network net("net", eq, 3, LinkParams{16.0, 1},
+                LinkParams{16.0, 1});
+    net.setHandler(2, [](PacketPtr) {});
+    Bytes seen = 0;
+    net.setTamper([&](Packet &p) { seen = p.wireBytes(); });
+    net.send(makePkt(1, 2, 16, 64));
+    eq.run();
+    EXPECT_EQ(seen, 80u); // post-wire: exact accounted bytes
+    // Clearing the legacy hook clears the post-wire point.
+    net.setTamper(Network::Tamper{});
+    seen = 0;
+    net.send(makePkt(1, 2, 16, 0));
+    eq.run();
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(Packet, CloneIsDeepIncludingCryptoMaterial)
+{
+    auto p = makePacket();
+    p->id = 42;
+    p->type = PacketType::ReadResp;
+    p->src = 1;
+    p->dst = 2;
+    p->secured = true;
+    p->msgCtr = 7;
+    p->hasMac = true;
+    p->headerBytes = 16;
+    p->payloadBytes = 64;
+    p->acks.push_back(AckRecord{2, 5, 0});
+    p->func = makeFunctionalPayload();
+    p->func->hasCipher = true;
+    p->func->cipher[0] = 0xAB;
+    p->func->hasMac = true;
+    p->func->mac[0] = 0xCD;
+
+    PacketPtr c = clonePacket(*p);
+    ASSERT_NE(c->func, nullptr);
+    EXPECT_NE(c->func.get(), p->func.get());
+    EXPECT_EQ(c->id, 42u);
+    EXPECT_EQ(c->msgCtr, 7u);
+    ASSERT_EQ(c->acks.size(), 1u);
+    EXPECT_EQ(c->acks[0].upToCtr, 5u);
+    // Mutating the original must not leak into the clone.
+    p->func->cipher[0] = 0x00;
+    p->msgCtr = 99;
+    EXPECT_EQ(c->func->cipher[0], 0xAB);
+    EXPECT_EQ(c->func->mac[0], 0xCD);
+    EXPECT_EQ(c->msgCtr, 7u);
+}
+
 TEST(NetworkDeath, RejectsSelfRoute)
 {
     EventQueue eq;

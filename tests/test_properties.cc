@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <random>
 #include <vector>
 
@@ -201,3 +202,178 @@ INSTANTIATE_TEST_SUITE_P(Workloads, SystemLaws,
                          ::testing::Values("mt", "mm", "atax", "km",
                                            "aes"),
                          [](const auto &info) { return info.param; });
+
+// ------------------------------------- Dynamic-scheme conservation laws
+
+namespace
+{
+
+/**
+ * Small confidence scales plus a short interval make every
+ * monitoring window trusted, so skewed traffic forces real EWMA
+ * movement and frequent re-partitions — the regime the invariants
+ * below must survive.
+ */
+DynamicPadTable
+makeTwitchyDynamic(EventQueue &eq, std::uint32_t num_nodes,
+                   std::uint32_t entries)
+{
+    DynamicPadTable::Params prm;
+    prm.interval = 50;
+    prm.confidenceDir = 8;
+    prm.confidencePeer = 4;
+    return DynamicPadTable("dyn", eq, 1, num_nodes, entries, 40, prm);
+}
+
+} // anonymous namespace
+
+TEST(DynamicInvariants, WeightsStayProbabilitiesUnderSkewedTraffic)
+{
+    std::mt19937_64 rng(31);
+    EventQueue eq;
+    DynamicPadTable t = makeTwitchyDynamic(eq, 5, 32);
+
+    std::vector<std::uint64_t> peer_ctr(5, 0);
+    for (int i = 0; i < 2500; ++i) {
+        // Drag simulated time forward so the adjust() timer fires.
+        const Tick upto = eq.now() + 1 + rng() % 10;
+        eq.schedule(upto, []() {});
+        eq.run(upto);
+        // Heavily skewed: 80% sends, and peer 0 gets most traffic.
+        NodeId peer = (rng() % 4 == 0)
+                          ? static_cast<NodeId>(2 + rng() % 3)
+                          : 0;
+        if (rng() % 5 != 0)
+            t.acquireSend(peer);
+        else
+            t.acquireRecv(peer, peer_ctr[peer]++);
+
+        EXPECT_GE(t.sendWeight(), 0.0);
+        EXPECT_LE(t.sendWeight(), 1.0);
+        for (NodeId p = 0; p < 5; ++p) {
+            if (p == 1)
+                continue;
+            for (Direction d : {Direction::Send, Direction::Recv}) {
+                EXPECT_GE(t.peerWeight(p, d), 0.0);
+                EXPECT_LE(t.peerWeight(p, d), 1.0);
+            }
+        }
+    }
+    EXPECT_GT(t.adjustments(), 0u);
+}
+
+TEST(DynamicInvariants, QuotasAlwaysPartitionThePool)
+{
+    // Formula 2/4 conservation: after every adjustment step the
+    // per-(peer, direction) quotas must sum to exactly the pool
+    // size — largest-remainder rounding may shift entries between
+    // pipes but can never mint or leak one — and every live pipe
+    // keeps its one-entry floor.
+    std::mt19937_64 rng(77);
+    EventQueue eq;
+    const std::uint32_t entries = 32;
+    DynamicPadTable t = makeTwitchyDynamic(eq, 5, entries);
+
+    std::vector<std::uint64_t> peer_ctr(5, 0);
+    std::uint64_t repartitions = 0;
+    std::uint64_t last_adjust = 0;
+    for (int i = 0; i < 2500; ++i) {
+        const Tick upto = eq.now() + 1 + rng() % 10;
+        eq.schedule(upto, []() {});
+        eq.run(upto);
+        // Alternate which peer dominates so the applied partition
+        // keeps drifting past the churn threshold.
+        const bool phase = (i / 400) % 2 == 0;
+        NodeId peer = phase ? 0 : 4;
+        if (rng() % 8 == 0)
+            peer = static_cast<NodeId>(2 + rng() % 2);
+        if ((rng() % 4 != 0) == phase)
+            t.acquireSend(peer);
+        else
+            t.acquireRecv(peer, peer_ctr[peer]++);
+
+        std::uint32_t sum = 0;
+        for (NodeId p = 0; p < 5; ++p) {
+            if (p == 1)
+                continue;
+            for (Direction d : {Direction::Send, Direction::Recv}) {
+                const std::uint32_t q = t.quota(p, d);
+                EXPECT_GE(q, 1u) << "pipe (" << p << ") lost its floor";
+                sum += q;
+            }
+        }
+        EXPECT_EQ(sum, entries) << "after " << t.adjustments()
+                                << " adjustments";
+        if (t.adjustments() != last_adjust) {
+            last_adjust = t.adjustments();
+            ++repartitions;
+        }
+    }
+    // The traffic phases above must have exercised the interesting
+    // path, or this test proves nothing.
+    EXPECT_GT(repartitions, 4u);
+}
+
+TEST(DynamicInvariants, RepartitionNeverStrandsInFlightPads)
+{
+    // A resize may discard *staged* pads (the receiver regenerates
+    // them on demand, a miss), but counters drawn before the
+    // re-partition must stay serviceable: the mirror receiver makes
+    // progress on every outstanding counter, in order, no matter how
+    // often the quotas moved while those messages were in flight.
+    std::mt19937_64 rng(19);
+    EventQueue eq;
+    DynamicPadTable sender = makeTwitchyDynamic(eq, 3, 16);
+
+    // ctrs drawn towards peer 0 but not yet "received" there.
+    std::deque<std::uint64_t> in_flight;
+    std::uint64_t peer2_recv_ctr = 0;
+    std::uint64_t expected_next = 0;
+    std::uint64_t received = 0;
+    for (int round = 0; round < 40; ++round) {
+        // Background traffic on the *other* pair (self=1 <-> 2),
+        // alternating direction each round so the EWMAs and quotas
+        // keep moving while pair (1 -> 0) has messages in flight.
+        const bool send_heavy = round % 2 == 0;
+        for (int i = 0; i < 30; ++i) {
+            if ((rng() % 4 != 0) == send_heavy)
+                sender.acquireSend(2);
+            else
+                sender.acquireRecv(2, peer2_recv_ctr++);
+            const Tick upto = eq.now() + 1 + rng() % 5;
+            eq.schedule(upto, []() {});
+            eq.run(upto);
+        }
+        // Draws on the mirrored pair (1 -> 0).
+        for (int i = 0; i < 5; ++i) {
+            const SendGrant g = sender.acquireSend(0);
+            EXPECT_EQ(g.ctr, expected_next)
+                << "send counters must stay gapless across resizes";
+            ++expected_next;
+            in_flight.push_back(g.ctr);
+        }
+        // Drain a random amount of the in-flight window late, after
+        // further adjustments have resized the pipes.
+        const std::size_t drain = rng() % (in_flight.size() + 1);
+        for (std::size_t i = 0; i < drain; ++i) {
+            const std::uint64_t ctr = in_flight.front();
+            in_flight.pop_front();
+            const RecvGrant rg = sender.acquireRecv(0, ctr);
+            EXPECT_GE(std::max(eq.now(), rg.padReady), eq.now());
+            ++received;
+        }
+    }
+    while (!in_flight.empty()) {
+        sender.acquireRecv(0, in_flight.front());
+        in_flight.pop_front();
+        ++received;
+    }
+    // Every drawn counter for the mirrored pair was eventually
+    // served; the stats saw each claim exactly once (plus the
+    // background pair's in-order receive stream).
+    EXPECT_EQ(received, expected_next);
+    const OtpStats &s = sender.otpStats();
+    EXPECT_EQ(s.total(Direction::Recv), received + peer2_recv_ctr);
+    // And the adjust timer genuinely ran while messages were out.
+    EXPECT_GT(sender.adjustments(), 0u);
+}

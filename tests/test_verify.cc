@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Deterministic regressions for the adversarial validation
+ * subsystem: every AdversaryModel attack class must be detected (or
+ * explicitly reported as neutralized / a blind spot), the
+ * SecurityOracle must show zero divergence on clean runs across all
+ * four buffer schemes, and seeded channel bugs must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/testbed.hh"
+
+namespace mgsec::verify
+{
+namespace
+{
+
+TestbedConfig
+baseConfig(OtpScheme scheme, bool batching)
+{
+    TestbedConfig cfg;
+    cfg.numNodes = 3;
+    cfg.scheme = scheme;
+    cfg.batching = batching;
+    cfg.batchSize = 4;
+    cfg.messages = 48;
+    cfg.requestPercent = 0;
+    cfg.gap = 20;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TestbedResult
+runWith(TestbedConfig cfg)
+{
+    VerifyTestbed tb(cfg);
+    return tb.run();
+}
+
+bool
+hasFinding(const TestbedResult &r, FindingKind k)
+{
+    for (const Finding &f : r.findings) {
+        if (f.kind == k)
+            return true;
+    }
+    return false;
+}
+
+std::string
+joinFindings(const TestbedResult &r)
+{
+    std::string out;
+    for (const Finding &f : r.findings) {
+        out += findingKindName(f.kind);
+        out += ": ";
+        out += f.detail;
+        out += "\n";
+    }
+    return out;
+}
+
+class CleanRun
+    : public ::testing::TestWithParam<std::tuple<OtpScheme, bool>>
+{
+};
+
+TEST_P(CleanRun, ZeroDivergenceAcrossSchemes)
+{
+    const auto [scheme, batching] = GetParam();
+    TestbedConfig cfg = baseConfig(scheme, batching);
+    cfg.requestPercent = 20;
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.delivered, cfg.messages);
+    EXPECT_EQ(r.droppedPackets, 0u);
+    EXPECT_GT(r.macsVerified, 0u);
+    EXPECT_EQ(r.macsFailed, 0u);
+    EXPECT_EQ(r.decryptsBad, 0u);
+    EXPECT_EQ(r.replaySuspects, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, CleanRun,
+    ::testing::Combine(::testing::Values(OtpScheme::Private,
+                                         OtpScheme::Shared,
+                                         OtpScheme::Cached,
+                                         OtpScheme::Dynamic),
+                       ::testing::Bool()));
+
+TEST(Adversary, ReplayRaisesReplaySuspect)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::Replay, 2, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 1u);
+    EXPECT_GE(r.replaySuspects, 1u);
+    EXPECT_EQ(r.delivered, cfg.messages + 1);
+}
+
+TEST(Adversary, DoubleReplayOfAdjacentCountersDetected)
+{
+    // Regression for a watermark-rewind weakness the fuzzer found:
+    // replaying ctr then ctr+1 in order let the first replay rewind
+    // last_recv_ctr_, making the second replay look like a fresh
+    // successor. The watermark is monotonic now; both replays must
+    // raise a suspect.
+    TestbedConfig cfg;
+    cfg.numNodes = 2;
+    cfg.scheme = OtpScheme::Private;
+    cfg.batchSize = 3;
+    cfg.messages = 16;
+    cfg.requestPercent = 4;
+    cfg.seed = 15884187418274144695ULL;
+    cfg.script = {{AttackClass::Replay, 7, 0},
+                  {AttackClass::Replay, 5, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 2u);
+    EXPECT_GE(r.replaySuspects, 2u);
+}
+
+TEST(Adversary, PayloadFlipFailsMacAndDecrypt)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::PayloadFlip, 2, 137}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_GE(r.macsFailed, 1u);
+    EXPECT_GE(r.decryptsBad, 1u);
+}
+
+TEST(Adversary, MacFlipFailsVerification)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Cached, false);
+    cfg.script = {{AttackClass::MacFlip, 2, 13}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_GE(r.macsFailed, 1u);
+}
+
+TEST(Adversary, HeaderFlipFailsVerification)
+{
+    // A flipped MsgCTR makes the receiver derive the wrong pad, so
+    // the MAC check fails even though payload bits are untouched.
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::HeaderFlip, 2, 1}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_GE(r.macsFailed, 1u);
+}
+
+TEST(Adversary, SpliceAcrossPairsFailsVerification)
+{
+    // Ciphertext+MAC transplanted from another (src,dst) pair: the
+    // pads are pair-bound, so verification must fail.
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::Splice, 6, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_GE(r.macsFailed, 1u);
+}
+
+TEST(Adversary, TrailerCorruptFailsBatchedMac)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, true);
+    cfg.script = {{AttackClass::TrailerCorrupt, 1, 5}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_GE(r.macsFailed, 1u);
+}
+
+TEST(Adversary, LengthCorruptStrandsTheBatch)
+{
+    // An inflated declared length makes the receiver wait for
+    // members that never come; the stranded verification is the
+    // detection signal (unless a standalone trailer's true count
+    // overrides it, which the oracle reports as neutralized).
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, true);
+    cfg.script = {{AttackClass::LengthCorrupt, 1, 1}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_TRUE(r.strandedBatches >= 1 || !r.neutralized.empty());
+}
+
+TEST(Adversary, AckDropLeavesWindowOrIsCovered)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::AckDrop, 0, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 1u);
+    EXPECT_EQ(r.droppedPackets, 1u);
+    // Either the sender's window still holds un-ACKed counters at
+    // drain, or a later cumulative ACK covered the loss — reported
+    // as neutralized, never silently.
+    EXPECT_TRUE(r.outstandingTotal > 0 || !r.neutralized.empty());
+}
+
+TEST(Adversary, AckDupIsIdempotent)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::AckDup, 0, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_FALSE(r.neutralized.empty());
+}
+
+TEST(Adversary, AckReorderOnlyDelaysTheWindow)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::AckReorder, 0, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_FALSE(r.neutralized.empty());
+}
+
+TEST(Adversary, DataDropDetectedOnPerPairSchemes)
+{
+    // Per-pair counter schemes see the hole in the arriving stream
+    // (ctrGaps) or keep the counter un-ACKed in the window.
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::DataDrop, 5, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.droppedPackets, 1u);
+    EXPECT_TRUE(r.ctrGaps >= 1 || r.outstandingTotal >= 1);
+}
+
+TEST(Adversary, SharedSchemeDataDropBlindSpotIsReported)
+{
+    // The Shared scheme draws one global stream per sender, so the
+    // receiver cannot tell a mid-stream drop from routine holes, and
+    // later cumulative ACKs silently cover the counter. This is a
+    // genuine protocol blind spot — the subsystem must REPORT it as
+    // an undetected attack, never pass silently.
+    TestbedConfig cfg = baseConfig(OtpScheme::Shared, false);
+    cfg.script = {{AttackClass::DataDrop, 5, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_FALSE(r.pass());
+    EXPECT_TRUE(hasFinding(r, FindingKind::UndetectedAttack))
+        << joinFindings(r);
+}
+
+TEST(Adversary, AttackLogMatchesFiredSteps)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.script = {{AttackClass::Replay, 2, 0},
+                  {AttackClass::PayloadFlip, 4, 7}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 2u);
+    EXPECT_EQ(r.attacksMounted, 2u);
+    EXPECT_EQ(r.attackLog.size(), 2u);
+}
+
+/* Seeded channel bugs: the mutation checks proving the oracle
+ * actually bites on a defective implementation. */
+
+TEST(MutationCheck, CounterSkipCaughtOnSharedScheme)
+{
+    // Under Shared, the skip survives every channel-side check (MACs
+    // recomputed, per-pair order intact, no gap counter) — only the
+    // oracle's hole-free-stream model can see it.
+    TestbedConfig cfg = baseConfig(OtpScheme::Shared, false);
+    cfg.bug = SeededBug::CounterSkip;
+    cfg.bugTrigger = 3;
+    const TestbedResult r = runWith(cfg);
+    EXPECT_FALSE(r.pass());
+    EXPECT_TRUE(hasFinding(r, FindingKind::CounterAnomaly))
+        << joinFindings(r);
+}
+
+TEST(MutationCheck, CounterSkipCaughtOnPerPairScheme)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.bug = SeededBug::CounterSkip;
+    cfg.bugTrigger = 3;
+    const TestbedResult r = runWith(cfg);
+    EXPECT_FALSE(r.pass());
+    EXPECT_TRUE(hasFinding(r, FindingKind::CounterAnomaly))
+        << joinFindings(r);
+}
+
+TEST(MutationCheck, StaleCipherCaughtByShadowCrypto)
+{
+    // One packet encrypted with the previous counter's pad but a
+    // valid MAC: MAC verification passes, only the differential
+    // ciphertext check notices the pad reuse.
+    TestbedConfig cfg = baseConfig(OtpScheme::Private, false);
+    cfg.bug = SeededBug::StaleCipher;
+    cfg.bugTrigger = 3;
+    const TestbedResult r = runWith(cfg);
+    EXPECT_FALSE(r.pass());
+    EXPECT_TRUE(hasFinding(r, FindingKind::CryptoMismatch))
+        << joinFindings(r);
+}
+
+TEST(MutationCheck, StaleCipherCaughtUnderBatching)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Dynamic, true);
+    cfg.bug = SeededBug::StaleCipher;
+    cfg.bugTrigger = 3;
+    const TestbedResult r = runWith(cfg);
+    EXPECT_FALSE(r.pass());
+    EXPECT_TRUE(hasFinding(r, FindingKind::CryptoMismatch))
+        << joinFindings(r);
+}
+
+// Fuzzer-found regression. A HeaderFlip raising a batched member's
+// counter used to poison the receiver's replay watermark, and later
+// verified batches then emitted cumulative ACKs carrying that
+// watermark — acknowledging (and discharging from the victim's
+// replay window) counters that never authenticated, including some
+// that had not even reached the wire yet. ACKs must draw from the
+// verified-counter watermark only.
+TEST(Regression, FlippedCounterCannotPoisonAckWatermark)
+{
+    TestbedConfig cfg;
+    cfg.numNodes = 3;
+    cfg.scheme = OtpScheme::Private;
+    cfg.batching = true;
+    cfg.batchSize = 5;
+    cfg.messages = 45;
+    cfg.requestPercent = 0;
+    cfg.gap = 17;
+    cfg.seed = 7263265129128524688ull;
+    cfg.script = {{AttackClass::AckDrop, 3, 0},
+                  {AttackClass::HeaderFlip, 3, 5}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 2u);
+    // The flipped member fails its batch MAC — that is the signal.
+    EXPECT_GT(r.macsFailed, 0u);
+}
+
+// Fuzzer-found regression. With requests in the traffic mix the
+// verified watermark rides ahead of the highest window-tracked
+// counter (requests draw counters but never join a replay window),
+// so a dropped ACK can be entirely vacuous: everything it could
+// discharge was already covered. The oracle must resolve such a
+// drop as neutralized, not as an undetected attack.
+TEST(Regression, VacuousAckDropResolvesAsNeutralized)
+{
+    TestbedConfig cfg;
+    cfg.numNodes = 2;
+    cfg.scheme = OtpScheme::Shared;
+    cfg.batching = false;
+    cfg.batchSize = 5;
+    cfg.messages = 40;
+    cfg.requestPercent = 22;
+    cfg.gap = 39;
+    cfg.seed = 11647943932479171624ull;
+    cfg.script = {{AttackClass::AckDrop, 5, 0},
+                  {AttackClass::Replay, 2, 0}};
+    const TestbedResult r = runWith(cfg);
+    EXPECT_TRUE(r.pass()) << joinFindings(r);
+    EXPECT_EQ(r.stepsFired, 2u);
+    EXPECT_FALSE(r.neutralized.empty());
+}
+
+TEST(Testbed, RunsAreDeterministic)
+{
+    TestbedConfig cfg = baseConfig(OtpScheme::Dynamic, true);
+    cfg.script = {{AttackClass::Replay, 3, 0},
+                  {AttackClass::PayloadFlip, 6, 99}};
+    const TestbedResult a = runWith(cfg);
+    const TestbedResult b = runWith(cfg);
+    EXPECT_EQ(a.findings.size(), b.findings.size());
+    EXPECT_EQ(a.macsVerified, b.macsVerified);
+    EXPECT_EQ(a.macsFailed, b.macsFailed);
+    EXPECT_EQ(a.replaySuspects, b.replaySuspects);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.attackLog, b.attackLog);
+}
+
+} // anonymous namespace
+} // namespace mgsec::verify
