@@ -5,9 +5,11 @@
  * a 4-GPU system, normalized to the unsecure baseline.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "bench/common.hh"
+#include "sim/json_writer.hh"
 
 using namespace mgsec;
 using namespace mgsec::bench;
@@ -15,7 +17,11 @@ using namespace mgsec::bench;
 int
 main(int argc, char **argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv);
+    // --json: machine-readable results, the regression-gate seed
+    // (BENCH_baseline.json) that CI diffs with mgsec_report.
+    BenchArgs args;
+    args.acceptJson = true;
+    args.parseArgs(argc, argv);
     banner("Fig. 9 — prior OTP buffer management schemes",
            "Fig. 9 (Private / Shared / Cached, OTP 4x, 4 GPUs)");
 
@@ -55,5 +61,41 @@ main(int argc, char **argv)
 
     std::cout << "\npaper: average degradations 19.5% (Private), "
                  "166.3% (Shared), 16.3% (Cached)\n";
+
+    if (!args.jsonOut.empty()) {
+        std::ofstream os(args.jsonOut);
+        if (!os) {
+            std::cerr << "cannot write " << args.jsonOut << "\n";
+            return 1;
+        }
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("bench", std::string("fig9"));
+        w.field("scale", args.scale);
+        w.field("seeds", static_cast<std::uint64_t>(args.seeds));
+        w.beginArray("rows");
+        const std::vector<std::string> labels = {"Private", "Shared",
+                                                 "Cached"};
+        for (std::size_t wl = 0; wl < names.size(); ++wl) {
+            w.beginObject();
+            w.field("workload", names[wl]);
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                w.key(labels[s]);
+                w.value(sweep.normalized(handles[wl][s]).time);
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.key("mean");
+        w.beginObject();
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            w.key(labels[s]);
+            w.value(mean(cols[s]));
+        }
+        w.endObject();
+        w.endObject();
+        os << "\n";
+        std::cout << "wrote " << args.jsonOut << "\n";
+    }
     return 0;
 }

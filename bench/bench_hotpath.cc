@@ -339,6 +339,7 @@ struct ObserveResult
     double overheadPct = 0.0;
     std::uint64_t traceEvents = 0;
     std::uint64_t metricSamples = 0;
+    std::uint64_t attrFolds = 0;
     std::uint64_t freshAfterTrace = 0;
 };
 
@@ -380,12 +381,14 @@ benchObserve(double scale, bool quick)
         std::ostream null_os(&nb);
         MultiGpuSystem sys(makeSystemConfig(cfg), profile);
         sys.enableTrace(null_os);
+        sys.enableAttribution();
         sys.enableMetrics(1000, 4096);
         const auto t0 = Clock::now();
         sys.run();
         r.wallSecOn = secondsSince(t0);
         r.traceEvents = sys.traceSink()->events();
         r.metricSamples = sys.metrics()->samples();
+        r.attrFolds = sys.attribution()->folds();
     }
     r.overheadPct = (r.wallSecOn / r.wallSecOff - 1.0) * 100.0;
 
@@ -448,6 +451,7 @@ writeJson(const std::string &path, const GhashResult &gh,
     w.field("overheadPct", obs.overheadPct);
     w.field("traceEvents", obs.traceEvents);
     w.field("metricSamples", obs.metricSamples);
+    w.field("attrFolds", obs.attrFolds);
     w.field("freshAfterTrace", obs.freshAfterTrace);
     w.endObject();
 
@@ -496,10 +500,12 @@ main(int argc, char **argv)
 
     const ObserveResult obs = benchObserve(args.scale, args.quick);
     std::printf("observe     %.2f s off   %.2f s on   overhead "
-                "%+.1f%%   %llu trace events   %llu samples\n",
+                "%+.1f%%   %llu trace events   %llu samples   "
+                "%llu folds\n",
                 obs.wallSecOff, obs.wallSecOn, obs.overheadPct,
                 static_cast<unsigned long long>(obs.traceEvents),
-                static_cast<unsigned long long>(obs.metricSamples));
+                static_cast<unsigned long long>(obs.metricSamples),
+                static_cast<unsigned long long>(obs.attrFolds));
     if (obs.freshAfterTrace != 0) {
         std::printf("  WARNING: %llu fresh allocations in a warm "
                     "churn after tracing (expected 0)\n",

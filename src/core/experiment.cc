@@ -23,6 +23,7 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.security.otpMultiplier = cfg.otpMult;
     sys.security.countMetadataBytes = cfg.countMetadataBytes;
     sys.security.dynParams = cfg.dynParams;
+    sys.security.debugPadStallPct = cfg.debugPadStallPct;
     // The trusted host of the paper's architecture protects its
     // untrusted DRAM (PENGLAI-style); the vanilla baseline has no
     // protection anywhere. The ablation benches override the default.
@@ -39,7 +40,7 @@ configKey(const std::string &workload, const ExperimentConfig &cfg)
     return strformat(
         "%s|gpus=%u|scheme=%s|batch=%d/%u|otp=%ux|aes=%u|meta=%d|"
         "scale=%g|seed=%llu|comm=%u|dyn=%u/%g/%g/%u/%u|memprot=%d|"
-        "strong=%d",
+        "strong=%d|padstall=%u",
         workload.c_str(), cfg.numGpus, otpSchemeName(cfg.scheme),
         cfg.batching ? 1 : 0, cfg.batchSize, cfg.otpMult,
         cfg.aesLatency, cfg.countMetadataBytes ? 1 : 0, cfg.scale,
@@ -47,7 +48,8 @@ configKey(const std::string &workload, const ExperimentConfig &cfg)
         cfg.commSampleInterval, cfg.dynParams.interval,
         cfg.dynParams.alpha, cfg.dynParams.beta,
         cfg.dynParams.confidenceDir, cfg.dynParams.confidencePeer,
-        cfg.hostMemProtect, cfg.strongScaling ? 1 : 0);
+        cfg.hostMemProtect, cfg.strongScaling ? 1 : 0,
+        cfg.debugPadStallPct);
 }
 
 std::string

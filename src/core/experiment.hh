@@ -53,6 +53,13 @@ struct ExperimentConfig
     bool strongScaling = true;
 
     /**
+     * Hidden debug knob (SecurityConfig::debugPadStallPct): inflate
+     * exposed send-pad waits by this percentage so CI can prove the
+     * mgsec_report regression gate trips. Part of configKey.
+     */
+    std::uint32_t debugPadStallPct = 0;
+
+    /**
      * Observability sinks for this run (file paths; all empty =
      * disabled). Never part of a config's identity hash.
      */

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the project's own
+ * artifacts (stats dumps, metric samples, observability indexes).
+ *
+ * The writer side (sim/json_writer.hh) emits plain RFC 8259 JSON, so
+ * this parser accepts exactly that grammar — no comments, no
+ * trailing commas, no NaN/Infinity literals. Objects preserve key
+ * order (vector of pairs) so reports print fields in the order the
+ * producing tool wrote them.
+ */
+
+#ifndef MGSEC_CORE_JSON_IN_HH
+#define MGSEC_CORE_JSON_IN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgsec
+{
+
+/** One parsed JSON value; a tree of these owns a whole document. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items;                       ///< Array
+    std::vector<std::pair<std::string, JsonValue>> fields; ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** number, or @p fallback when this is not a Number. */
+    double asNumber(double fallback = 0.0) const
+    {
+        return isNumber() ? number : fallback;
+    }
+};
+
+/**
+ * Parse @p text into @p out. On failure returns false and describes
+ * the first error (with line number) in @p err.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/** Parse the file at @p path; same contract as jsonParse(). */
+bool jsonParseFile(const std::string &path, JsonValue &out,
+                   std::string &err);
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_JSON_IN_HH

@@ -175,6 +175,15 @@ RunOptions::set(const std::string &key, const std::string &value)
     } else if (key == "metrics-ring") {
         if ((ok = parseNumber(value, 1ULL, 1ULL << 24, u)))
             exp.observe.metricsRing = static_cast<std::uint32_t>(u);
+    } else if (key == "attr") {
+        ok = parseBool(value, exp.observe.latencyAttr);
+    } else if (key == "hist-json") {
+        exp.observe.histJsonOut = value;
+    } else if (key == "debug-pad-stall-pct") {
+        // Deliberately absent from usage(): a CI-only fault injector
+        // for the mgsec_report regression-gate self-check.
+        if ((ok = parseNumber(value, 0ULL, 10000ULL, u)))
+            exp.debugPadStallPct = static_cast<std::uint32_t>(u);
     } else if (key == "debug") {
         if (value == "help") {
             debug::listFlags(std::cout);
@@ -285,6 +294,10 @@ RunOptions::usage(std::ostream &os)
           "(default 1000)\n"
           "  --metrics-ring N       metric rows kept before dropping "
           "(default 4096)\n"
+          "  --attr B               per-message latency attribution "
+          "histograms\n"
+          "  --hist-json FILE       write attribution histograms as "
+          "JSON (implies --attr on)\n"
           "  --debug FLAGS          enable trace flags "
           "('help' lists them)\n"
           "  --config FILE          read 'key = value' lines first\n";

@@ -39,8 +39,8 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
     if (acceptJson)
         os << "  --json F   also write the results as JSON to F\n";
     if (acceptObserve)
-        os << "  --observe DIR  write per-job METRICS_/TRACE_/STATS_ "
-           << "JSON files\n"
+        os << "  --observe DIR  write per-job METRICS_/TRACE_/STATS_/"
+           << "HIST_ JSON files\n"
            << "             (tagged by config hash) plus an "
            << "OBSERVE_INDEX.json into DIR\n";
     os << "  --debug FLAGS  enable trace flags ('help' lists "
@@ -239,6 +239,8 @@ Sweep::run()
         cfg.observe.traceOut = observe_dir_ + "/TRACE_" + h + ".json";
         cfg.observe.statsJsonOut =
             observe_dir_ + "/STATS_" + h + ".json";
+        cfg.observe.histJsonOut =
+            observe_dir_ + "/HIST_" + h + ".json";
         cfg.observe.metricsInterval = observe_interval_;
         observe_index.push_back(
             IndexEntry{h, configKey(workload, cfg)});

@@ -52,6 +52,15 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     prev_sends_to_.assign(n, 0);
 }
 
+MultiGpuSystem::~MultiGpuSystem()
+{
+    // RAII flush: a run that threw (or a driver that bailed before
+    // run() finished) still seals its trace/metrics/stats files into
+    // parseable JSON instead of losing the buffered tail.
+    if (observ_opened_ && !observ_flushed_)
+        flushObservability();
+}
+
 void
 MultiGpuSystem::recordBlock(NodeId src, NodeId dst, Tick t)
 {
@@ -110,6 +119,11 @@ MultiGpuSystem::replaceWorkload(NodeId gpu,
 void
 MultiGpuSystem::dumpStats(std::ostream &os) const
 {
+    // Registered only when attribution is enabled, keeping the
+    // figure-bench dumps byte-identical with profiling off (same
+    // contract as the conditional ctrGaps registration).
+    if (attr_)
+        attr_->statGroup().dump(os);
     net_->statGroup().dump(os);
     pt_->statGroup().dump(os);
     for (const auto &n : nodes_) {
@@ -128,6 +142,8 @@ MultiGpuSystem::dumpStatsJson(std::ostream &os) const
 {
     JsonWriter w(os);
     w.beginObject();
+    if (attr_)
+        attr_->statGroup().dumpJson(w);
     net_->statGroup().dumpJson(w);
     pt_->statGroup().dumpJson(w);
     for (const auto &n : nodes_) {
@@ -146,6 +162,8 @@ MultiGpuSystem::dumpStatsJson(std::ostream &os) const
 void
 MultiGpuSystem::resetStats()
 {
+    if (attr_)
+        attr_->reset();
     net_->statGroup().resetAll();
     pt_->statGroup().resetAll();
     for (auto &n : nodes_) {
@@ -249,6 +267,37 @@ MultiGpuSystem::enableMetrics(Cycles interval, std::size_t capacity)
                 return static_cast<double>(mss->occupancyTotal());
             });
         }
+        if (const PadTable *ptab = ch.padTable()) {
+            ms.addGauge(nm + ".pads.wasted", [ptab](Tick) {
+                return static_cast<double>(
+                    ptab->wastedGenerations());
+            });
+        }
+    }
+
+    if (attr_) {
+        // Running-percentile columns: each sample reads the
+        // histogram accumulated so far (call enableAttribution()
+        // first, as openObservability() does).
+        const LatencyAttribution *attr = attr_.get();
+        for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+            const LinkType link = static_cast<LinkType>(l);
+            const std::string base =
+                std::string("attr.") + linkTypeName(link);
+            ms.addGauge(base + ".e2e.p50", [attr, link](Tick) {
+                return attr->e2e(link).percentile(50.0);
+            });
+            ms.addGauge(base + ".e2e.p99", [attr, link](Tick) {
+                return attr->e2e(link).percentile(99.0);
+            });
+            ms.addGauge(base + ".padWait.p99", [attr, link](Tick) {
+                return attr->stage(link, 1).percentile(99.0);
+            });
+            ms.addGauge(base + ".recvVerify.p99",
+                        [attr, link](Tick) {
+                return attr->stage(link, 4).percentile(99.0);
+            });
+        }
     }
 
     // One column per Scalar stat of the traffic- and security-
@@ -270,8 +319,23 @@ MultiGpuSystem::writeMetricsJson(std::ostream &os) const
 }
 
 void
+MultiGpuSystem::enableAttribution()
+{
+    MGSEC_ASSERT(!attr_, "attribution already enabled");
+    attr_ = std::make_unique<LatencyAttribution>(
+        otpSchemeName(cfg_.security.scheme));
+    eq_.setAttribution(attr_.get());
+}
+
+void
 MultiGpuSystem::openObservability()
 {
+    observ_opened_ = true;
+    observ_flushed_ = false;
+    if ((cfg_.observe.latencyAttr ||
+         !cfg_.observe.histJsonOut.empty()) &&
+        !attr_)
+        enableAttribution();
     if (!cfg_.observe.traceOut.empty() && !trace_) {
         trace_file_ =
             std::make_unique<std::ofstream>(cfg_.observe.traceOut);
@@ -291,6 +355,7 @@ MultiGpuSystem::openObservability()
 void
 MultiGpuSystem::flushObservability()
 {
+    observ_flushed_ = true;
     if (sampler_) {
         // Final snapshot so short runs and run tails are captured.
         sampler_->sampleNow();
@@ -313,6 +378,15 @@ MultiGpuSystem::flushObservability()
                  cfg_.observe.statsJsonOut.c_str());
         } else {
             dumpStatsJson(f);
+        }
+    }
+    if (attr_ && !cfg_.observe.histJsonOut.empty()) {
+        std::ofstream f(cfg_.observe.histJsonOut);
+        if (!f) {
+            warn("cannot open histogram output '%s'",
+                 cfg_.observe.histJsonOut.c_str());
+        } else {
+            attr_->writeJson(f);
         }
     }
 }

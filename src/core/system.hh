@@ -21,6 +21,7 @@
 #include "net/network.hh"
 #include "secure/security_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/latency_attr.hh"
 #include "sim/metric_sampler.hh"
 #include "sim/trace_sink.hh"
 #include "workload/profile.hh"
@@ -41,16 +42,24 @@ struct ObserveConfig
     std::string traceOut;
     /** Full stats dump as one JSON object. */
     std::string statsJsonOut;
+    /** Standalone latency-attribution histogram JSON. */
+    std::string histJsonOut;
     /** Cycles between metric samples. */
     Cycles metricsInterval = 1000;
     /** Metric ring rows kept (oldest rows drop beyond this). */
     std::uint32_t metricsRing = 4096;
+    /**
+     * Collect per-message lifecycle histograms even without a
+     * histJsonOut file (they then ride statsJsonOut / dumpStats).
+     */
+    bool latencyAttr = false;
 
     bool
     any() const
     {
         return !metricsOut.empty() || !traceOut.empty() ||
-               !statsJsonOut.empty();
+               !statsJsonOut.empty() || !histJsonOut.empty() ||
+               latencyAttr;
     }
 };
 
@@ -152,6 +161,13 @@ class MultiGpuSystem
     MultiGpuSystem(const SystemConfig &cfg,
                    const WorkloadProfile &profile);
 
+    /**
+     * Flushes the observability sinks if run() never got to (an
+     * exception mid-run, a bailing driver): partial artifacts beat
+     * silently truncated ones.
+     */
+    ~MultiGpuSystem();
+
     /** Run to completion (or the cycle cap) and harvest results. */
     RunResult run();
 
@@ -187,8 +203,20 @@ class MultiGpuSystem
     /** Flush collected metric samples as JSON. */
     void writeMetricsJson(std::ostream &os) const;
 
+    /**
+     * Attach the per-message latency-attribution collector. Call
+     * before run() — and before enableMetrics() if the percentile
+     * gauge columns are wanted. Stamping/folding costs nothing when
+     * this is never called (one null test per hook).
+     */
+    void enableAttribution();
+
     const TraceSink *traceSink() const { return trace_.get(); }
     const MetricSampler *metrics() const { return sampler_.get(); }
+    const LatencyAttribution *attribution() const
+    {
+        return attr_.get();
+    }
 
     EventQueue &eventq() { return eq_; }
     Network &network() { return *net_; }
@@ -211,10 +239,19 @@ class MultiGpuSystem
     std::unique_ptr<PageTable> pt_;
     std::vector<std::unique_ptr<Node>> nodes_;
 
+    /**
+     * Declared before trace_: ~TraceSink seals the JSON array, so
+     * the stream it writes to must still be alive when the sink is
+     * destroyed (members destruct in reverse declaration order).
+     */
+    std::unique_ptr<std::ofstream> trace_file_;
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<MetricSampler> sampler_;
-    /** Keeps a --trace-out file stream alive for the sink. */
-    std::unique_ptr<std::ofstream> trace_file_;
+    std::unique_ptr<LatencyAttribution> attr_;
+    /** openObservability() ran (destructor may need to flush). */
+    bool observ_opened_ = false;
+    /** flushObservability() already ran (flush exactly once). */
+    bool observ_flushed_ = false;
 
     std::uint32_t done_gpus_ = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 #include "sim/trace_sink.hh"
 
@@ -78,6 +79,8 @@ MemProtectEngine::access(std::uint64_t addr, bool write,
             ts->complete(0, "memprot", "walk", now(),
                          meta_ready - now(), "levels", walked);
         }
+        if (LatencyAttribution *attr = eventq().attribution())
+            attr->recordMetaWalk(meta_ready - now());
     }
 
     // Decryption (read) or MAC update (write) cannot finish before

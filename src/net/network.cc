@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 #include "sim/trace_sink.hh"
 
@@ -97,6 +98,13 @@ Network::send(PacketPtr pkt)
     if (TraceSink *ts = eventq().traceSink()) {
         ts->complete(pkt->src, "net", packetTypeName(pkt->type),
                      now(), arrive - now(), "bytes", bytes);
+    }
+    if (eventq().attribution()) {
+        // The network owns the wire boundaries of the lifecycle
+        // clock; the receiving channel folds the stamps on delivery
+        // (SecAck/BatchMac stamps are written but never folded).
+        lifeStamp(pkt->life, LifeStamp::WireEntry) = now();
+        lifeStamp(pkt->life, LifeStamp::Delivered) = arrive;
     }
 
     // Post-wire tamper point: accounting and port occupancy are

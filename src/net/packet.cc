@@ -88,6 +88,7 @@ clonePacket(const Packet &p)
     }
     c->sendReady = p.sendReady;
     c->injectTick = p.injectTick;
+    c->life = p.life;
     return c;
 }
 

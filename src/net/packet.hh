@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "sim/inline_vec.hh"
+#include "sim/lifecycle.hh"
 #include "sim/types.hh"
 
 namespace mgsec
@@ -59,6 +60,12 @@ struct AckRecord
     NodeId from = InvalidNode; ///< original data sender being ACKed
     std::uint64_t upToCtr = 0;
     std::uint64_t batchId = 0; ///< nonzero when ACKing a batch
+    /**
+     * Tick the record was queued at the receiver — latency
+     * attribution only (ackReturn histogram); carries no protocol
+     * meaning and no wire bytes.
+     */
+    Tick queuedAt = 0;
 };
 
 /**
@@ -130,6 +137,15 @@ struct Packet
 
     /** Tick the message entered the channel (trace lifetime start). */
     Tick injectTick = 0;
+
+    /**
+     * Lifecycle-clock stamps (latency attribution). Only written
+     * when EventQueue::attribution() is attached, and every stamp a
+     * fold reads is rewritten on that same enabled path — so reset()
+     * deliberately leaves the array stale rather than taxing pooled
+     * recycling with a memset profiling-off runs never benefit from.
+     */
+    LifeStamps life{};
 
     /**
      * Return to the freshly-constructed state so a pooled packet can

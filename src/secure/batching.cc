@@ -1,6 +1,7 @@
 #include "secure/batching.hh"
 
 #include "sim/debug.hh"
+#include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 
 namespace mgsec
@@ -127,6 +128,12 @@ MsgMacStorage::maybeComplete(NodeId src, std::uint64_t batch_id)
     const Pending &p = it->second;
     if (!p.trailer || p.expected == 0 || p.received < p.expected)
         return;
+    if (LatencyAttribution *attr = eventq().attribution()) {
+        // How long the first member's MAC sat parked before its
+        // batch verdict (a trailer-only batch has no member yet).
+        if (p.firstTick != 0)
+            attr->recordBatchClose(now() - p.firstTick);
+    }
     pending_[src].erase(it);
     ++complete_count_;
     if (complete_)
@@ -138,6 +145,8 @@ MsgMacStorage::onData(NodeId src, std::uint64_t batch_id,
                       std::uint8_t declared_len, bool has_trailer)
 {
     Pending &p = pending_[src][batch_id];
+    if (p.received == 0)
+        p.firstTick = now();
     ++p.received;
     if (declared_len != 0)
         p.declared = declared_len;

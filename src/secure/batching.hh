@@ -166,6 +166,8 @@ class MsgMacStorage : public SimObject
         std::uint8_t declared = 0;  ///< length byte, first message
         std::uint8_t expected = 0;  ///< 0 while unknown
         bool trailer = false;
+        /** First member's arrival (batchClose attribution). */
+        Tick firstTick = 0;
     };
 
     void maybeComplete(NodeId src, std::uint64_t batch_id);

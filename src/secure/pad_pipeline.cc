@@ -73,8 +73,10 @@ PadPipeline::resize(Tick now, std::uint32_t new_quota)
 {
     if (new_quota == quota_)
         return;
-    while (ready_.size() > new_quota)
+    while (ready_.size() > new_quota) {
         ready_.pop_back();
+        ++wasted_;
+    }
     while (ready_.size() < new_quota)
         ready_.push_back(now + latency_);
     quota_ = new_quota;
@@ -85,6 +87,7 @@ PadPipeline::resize(Tick now, std::uint32_t new_quota)
 void
 PadPipeline::resync(Tick now, std::uint64_t next_ctr)
 {
+    wasted_ += ready_.size();
     front_ctr_ = next_ctr;
     for (std::size_t i = 0; i < ready_.size(); ++i)
         ready_[i] = now + latency_;

@@ -70,6 +70,14 @@ class PadPipeline
     std::uint32_t quota() const { return quota_; }
     /** Counter the next claim will return. */
     std::uint64_t nextCtr() const { return front_ctr_; }
+
+    /**
+     * Pad generations discarded before any message consumed them:
+     * slots dropped by a shrinking resize plus staged pads
+     * invalidated by a resync. Wasted crypto work — the attribution
+     * layer surfaces it as a run-level gauge.
+     */
+    std::uint64_t wastedGenerations() const { return wasted_; }
     /** Ready tick of the front pad (MaxTick when quota is 0). */
     Tick frontReady() const;
 
@@ -102,6 +110,8 @@ class PadPipeline
     std::deque<Tick> ready_;
     /** Serialization point for quota-0 on-demand generation. */
     Tick ondemand_free_ = 0;
+    /** Generations discarded unconsumed (resize shrink, resync). */
+    std::uint64_t wasted_ = 0;
 };
 
 } // namespace mgsec

@@ -101,6 +101,12 @@ class PadTable : public SimObject
     /** Of those, pads already generated at @p now. */
     virtual std::uint32_t padsReady(NodeId peer, Direction d,
                                     Tick now) const = 0;
+    /**
+     * Pad generations discarded unconsumed (shrinking re-partitions,
+     * counter resyncs) — wasted crypto work, surfaced by the
+     * attribution layer. Schemes without staged pipelines report 0.
+     */
+    virtual std::uint64_t wastedGenerations() const { return 0; }
     /// @}
 
   protected:
@@ -150,6 +156,17 @@ class PrivatePadTable : public PadTable
     {
         return (d == Direction::Send ? send_pipes_
                                      : recv_pipes_)[peer].readyAt(now);
+    }
+
+    std::uint64_t
+    wastedGenerations() const override
+    {
+        std::uint64_t n = 0;
+        for (const PadPipeline &p : send_pipes_)
+            n += p.wastedGenerations();
+        for (const PadPipeline &p : recv_pipes_)
+            n += p.wastedGenerations();
+        return n;
     }
 
   protected:

@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 
+#include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 #include "sim/trace_sink.hh"
 
@@ -99,7 +100,16 @@ SecureChannel::send(PacketPtr pkt)
     pkt->headerBytes = cfg_.headerBytes;
     pkt->injectTick = now();
 
+    LatencyAttribution *attr = eventq().attribution();
+    if (attr)
+        lifeStamp(pkt->life, LifeStamp::Enqueue) = now();
+
     if (!cfg_.secured()) {
+        if (attr) {
+            // No pad stages: both boundaries collapse onto enqueue.
+            lifeStamp(pkt->life, LifeStamp::PadClaim) = now();
+            lifeStamp(pkt->life, LifeStamp::PadReady) = now();
+        }
         finishSend(std::move(pkt), now());
         return;
     }
@@ -157,9 +167,21 @@ SecureChannel::send(PacketPtr pkt)
                   static_cast<unsigned long long>(grant.ctr),
                   otpOutcomeName(grant.outcome));
 
+    Tick pad_ready = grant.padReady;
+    // Hidden debug knob (CI gate self-check): stretch the exposed
+    // pad wait by a percentage to fake an OTP-management regression.
+    if (cfg_.debugPadStallPct != 0 && pad_ready > now())
+        pad_ready += (pad_ready - now()) * cfg_.debugPadStallPct / 100;
+
+    if (attr) {
+        lifeStamp(pkt->life, LifeStamp::PadClaim) = now();
+        lifeStamp(pkt->life, LifeStamp::PadReady) =
+            std::max(now(), pad_ready);
+    }
+
     // Pad wait plus the one-cycle XOR; clamped so a pair's packets
     // depart in counter order (the link preserves it from there).
-    Tick dep = std::max(now(), grant.padReady) + 1;
+    Tick dep = std::max(now(), pad_ready) + 1;
     dep = std::max(dep, last_departure_[pkt->dst]);
     last_departure_[pkt->dst] = dep;
 
@@ -335,6 +357,7 @@ SecureChannel::queueAck(NodeId peer, const AckRecord &rec)
 {
     auto &pa = pending_acks_[peer];
     pa.push_back(rec);
+    pa.back().queuedAt = now();
     if (!ack_timers_[peer].valid()) {
         ack_timers_[peer] =
             eventq().scheduleIn(cfg_.ackTimeout, [this, peer]() {
@@ -410,8 +433,12 @@ SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
 void
 SecureChannel::processAcks(NodeId from, const AckList &acks)
 {
-    for (const AckRecord &rec : acks)
+    LatencyAttribution *attr = eventq().attribution();
+    for (const AckRecord &rec : acks) {
         replay_.ackUpTo(from, rec.upToCtr);
+        if (attr && rec.queuedAt != 0 && now() >= rec.queuedAt)
+            attr->recordAckReturn(now() - rec.queuedAt);
+    }
 }
 
 void
@@ -442,6 +469,12 @@ SecureChannel::handleArrival(PacketPtr pkt)
         if (TraceSink *ts = eventq().traceSink()) {
             ts->complete(self_, "packet", packetTypeName(pkt->type),
                          pkt->injectTick, now() - pkt->injectTick);
+        }
+        if (LatencyAttribution *attr = eventq().attribution()) {
+            lifeStamp(pkt->life, LifeStamp::DeliverReady) = now();
+            attr->fold(pkt->src == 0 || self_ == 0 ? LinkType::Pcie
+                                                   : LinkType::Nvlink,
+                       pkt->life, eventq().traceSink(), self_);
         }
         MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
         deliver_(std::move(pkt));
@@ -499,6 +532,15 @@ SecureChannel::handleArrival(PacketPtr pkt)
     Tick ready = std::max(now(), grant.padReady) + 1;
     ready = std::max(ready, last_deliver_[src]);
     last_deliver_[src] = ready;
+
+    if (LatencyAttribution *attr = eventq().attribution()) {
+        // Decrypt and MAC check share the pad: `ready` is both the
+        // delivery and the MAC-verify boundary.
+        lifeStamp(pkt->life, LifeStamp::DeliverReady) = ready;
+        attr->fold(src == 0 || self_ == 0 ? LinkType::Pcie
+                                          : LinkType::Nvlink,
+                   pkt->life, eventq().traceSink(), self_);
+    }
 
     if (TraceSink *ts = eventq().traceSink()) {
         // The packet's lifetime runs from channel injection at the

@@ -35,6 +35,7 @@
 namespace mgsec
 {
 
+class LatencyAttribution;
 class TraceSink;
 
 /**
@@ -130,6 +131,15 @@ class EventQueue
     /** Attach/detach the sink; the caller retains ownership. */
     void setTraceSink(TraceSink *sink) { trace_sink_ = sink; }
 
+    /**
+     * Latency-attribution collector shared by every component on
+     * this queue, or nullptr when attribution is off — same
+     * single-pointer-test contract as traceSink().
+     */
+    LatencyAttribution *attribution() const { return attr_; }
+    /** Attach/detach the collector; the caller retains ownership. */
+    void setAttribution(LatencyAttribution *attr) { attr_ = attr; }
+
   private:
     struct Entry
     {
@@ -171,6 +181,7 @@ class EventQueue
     std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;
     TraceSink *trace_sink_ = nullptr;
+    LatencyAttribution *attr_ = nullptr;
 };
 
 } // namespace mgsec

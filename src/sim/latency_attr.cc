@@ -1,0 +1,117 @@
+#include "sim/latency_attr.hh"
+
+#include <ostream>
+
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+#include "sim/trace_sink.hh"
+
+namespace mgsec
+{
+
+namespace
+{
+
+std::string
+histName(LinkType l, const char *what)
+{
+    return std::string(linkTypeName(l)) + "." + what;
+}
+
+} // namespace
+
+LatencyAttribution::LatencyAttribution(std::string scheme)
+    : scheme_(std::move(scheme)),
+      batch_close_("batchClose",
+                   "first data message to batch MAC verdict (cycles)"),
+      ack_return_("ackReturn",
+                  "ACK queued at receiver to processed at sender "
+                  "(cycles)"),
+      meta_walk_("metaWalk",
+                 "host integrity-tree walk latency on counter-cache "
+                 "misses (cycles)")
+{
+    stages_.reserve(kNumLinkTypes * kNumLifeStages);
+    e2e_.reserve(kNumLinkTypes);
+    for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+        const LinkType link = static_cast<LinkType>(l);
+        for (std::size_t s = 0; s < kNumLifeStages; ++s) {
+            stages_.emplace_back(
+                histName(link, lifeStageName(s)),
+                std::string(lifeStageName(s)) + " stage cycles (" +
+                    scheme_ + ", " + linkTypeName(link) + ")");
+        }
+        e2e_.emplace_back(histName(link, "e2e"),
+                          "end-to-end message latency (" + scheme_ +
+                              ", " + linkTypeName(link) + ")");
+    }
+    for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+        for (std::size_t s = 0; s < kNumLifeStages; ++s)
+            group_.add(stageMut(static_cast<LinkType>(l), s));
+        group_.add(e2e_[l]);
+    }
+    group_.add(batch_close_);
+    group_.add(ack_return_);
+    group_.add(meta_walk_);
+}
+
+stats::Histogram &
+LatencyAttribution::stageMut(LinkType l, std::size_t s)
+{
+    return stages_[static_cast<std::size_t>(l) * kNumLifeStages + s];
+}
+
+const stats::Histogram &
+LatencyAttribution::stage(LinkType l, std::size_t s) const
+{
+    return stages_[static_cast<std::size_t>(l) * kNumLifeStages + s];
+}
+
+const stats::Histogram &
+LatencyAttribution::e2e(LinkType l) const
+{
+    return e2e_[static_cast<std::size_t>(l)];
+}
+
+void
+LatencyAttribution::fold(LinkType link, const LifeStamps &st,
+                         TraceSink *trace, NodeId tid)
+{
+    for (std::size_t s = 0; s < kNumLifeStages; ++s) {
+        MGSEC_ASSERT(st[s + 1] >= st[s],
+                     "lifecycle stamps out of order: %s %llu -> %llu",
+                     lifeStageName(s),
+                     static_cast<unsigned long long>(st[s]),
+                     static_cast<unsigned long long>(st[s + 1]));
+        const Tick dur = st[s + 1] - st[s];
+        stageMut(link, s).record(dur);
+        if (trace && dur > 0) {
+            trace->complete(static_cast<std::uint32_t>(tid), "attr",
+                            lifeStageName(s), st[s], dur);
+        }
+    }
+    e2e_[static_cast<std::size_t>(link)].record(
+        st[kNumLifeStamps - 1] - st[0]);
+    ++folds_;
+}
+
+void
+LatencyAttribution::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("scheme", scheme_);
+    w.field("folds", folds_);
+    group_.dumpJson(w);
+    w.endObject();
+    os << "\n";
+}
+
+void
+LatencyAttribution::reset()
+{
+    group_.resetAll();
+    folds_ = 0;
+}
+
+} // namespace mgsec

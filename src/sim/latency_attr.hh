@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Run-wide latency attribution: folds per-packet lifecycle stamps
+ * (sim/lifecycle.hh) into HDR histograms per stage and link type.
+ *
+ * One collector serves the whole system; components reach it through
+ * EventQueue::attribution(), so — exactly like TraceSink — a null
+ * pointer there is the entire cost of disabled attribution. The
+ * scheme dimension is the run itself (a system simulates exactly one
+ * OtpScheme), recorded in the collector's scheme() label; link type
+ * (PCIe vs NVLink) is derived per packet from its endpoints.
+ *
+ * The five conservation-stage histograms satisfy, per link type,
+ *   sum_i stage[i].count() == e2e.count()  and
+ *   sum_i stage[i].sum()   == e2e.sum()    (exactly, in cycles),
+ * which tests assert. Batch close, ACK return, and metadata-walk
+ * histograms are auxiliary: they overlap other stages or happen
+ * after delivery and are excluded from the identity.
+ */
+
+#ifndef MGSEC_SIM_LATENCY_ATTR_HH
+#define MGSEC_SIM_LATENCY_ATTR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/lifecycle.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+class TraceSink;
+
+/** Interconnect hop classes the paper distinguishes. */
+enum class LinkType : std::uint8_t
+{
+    Pcie = 0,   ///< CPU <-> GPU
+    Nvlink = 1, ///< GPU <-> GPU
+};
+constexpr std::size_t kNumLinkTypes = 2;
+
+inline const char *
+linkTypeName(LinkType l)
+{
+    return l == LinkType::Pcie ? "pcie" : "nvlink";
+}
+
+class LatencyAttribution
+{
+  public:
+    /** @p scheme labels the run (one OtpScheme per system). */
+    explicit LatencyAttribution(std::string scheme);
+
+    /**
+     * Fold a delivered packet's stamps: records every conservation
+     * stage plus end-to-end, and emits one "attr" trace span per
+     * nonzero stage when @p trace is non-null. @p tid is the
+     * receiving node (trace row).
+     */
+    void fold(LinkType link, const LifeStamps &st, TraceSink *trace,
+              NodeId tid);
+
+    /** @name Auxiliary (non-conservation) latencies. */
+    /// @{
+    void recordBatchClose(Tick dur) { batch_close_.record(dur); }
+    void recordAckReturn(Tick dur) { ack_return_.record(dur); }
+    void recordMetaWalk(Tick dur) { meta_walk_.record(dur); }
+    /// @}
+
+    const stats::Histogram &stage(LinkType l, std::size_t s) const;
+    const stats::Histogram &e2e(LinkType l) const;
+    const stats::Histogram &batchClose() const { return batch_close_; }
+    const stats::Histogram &ackReturn() const { return ack_return_; }
+    const stats::Histogram &metaWalk() const { return meta_walk_; }
+
+    /** Delivered packets folded (== e2e counts over both links). */
+    std::uint64_t folds() const { return folds_; }
+    const std::string &scheme() const { return scheme_; }
+
+    /** All histograms, registered as group "attr". */
+    stats::StatGroup &statGroup() { return group_; }
+    const stats::StatGroup &statGroup() const { return group_; }
+
+    /** Standalone HIST_*.json document: {scheme, attr: {...}}. */
+    void writeJson(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    stats::Histogram &stageMut(LinkType l, std::size_t s);
+
+    std::string scheme_;
+    /** [link][stage] conservation histograms, then per-link e2e. */
+    std::vector<stats::Histogram> stages_;
+    std::vector<stats::Histogram> e2e_;
+    stats::Histogram batch_close_;
+    stats::Histogram ack_return_;
+    stats::Histogram meta_walk_;
+    std::uint64_t folds_ = 0;
+    stats::StatGroup group_{"attr"};
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_LATENCY_ATTR_HH

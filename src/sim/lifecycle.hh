@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-packet lifecycle clock for latency attribution.
+ *
+ * A packet carries one Tick per stage boundary; components stamp the
+ * boundaries they own and the receiving channel folds the telescoping
+ * differences into per-stage histograms on delivery. The boundaries:
+ *
+ *   Enqueue       message accepted by the secure-send stage
+ *   PadClaim      send pad claimed (MsgCTR assigned)
+ *   PadReady      send pad generated (OTP wait exposed on the sender)
+ *   WireEntry     packet departed onto the wire (XOR cycle + in-order
+ *                 departure clamp behind it)
+ *   Delivered     packet arrived at the destination node
+ *   DeliverReady  receive pad ready + XOR cycle + FIFO delivery clamp
+ *                 behind it; decryption and MAC verification share
+ *                 the pad, so this is also the MAC-verify boundary
+ *
+ * Adjacent boundaries define the five conservation stages; because
+ * every boundary is clamped to be >= its predecessor, the stage
+ * durations are non-negative and sum *exactly* to the end-to-end
+ * latency (DeliverReady - Enqueue). Batch close and ACK return
+ * happen after delivery and are tracked as auxiliary histograms
+ * outside the conservation identity.
+ */
+
+#ifndef MGSEC_SIM_LIFECYCLE_HH
+#define MGSEC_SIM_LIFECYCLE_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Stage-boundary stamps, in causal order. */
+enum class LifeStamp : std::uint8_t
+{
+    Enqueue = 0,
+    PadClaim,
+    PadReady,
+    WireEntry,
+    Delivered,
+    DeliverReady,
+};
+
+constexpr std::size_t kNumLifeStamps = 6;
+
+/** The stamps a packet carries. Indexed by LifeStamp. */
+using LifeStamps = std::array<Tick, kNumLifeStamps>;
+
+/**
+ * Conservation stages: stage i spans boundary i -> i+1, so
+ * kNumLifeStages == kNumLifeStamps - 1 and the per-stage sums
+ * telescope to the end-to-end latency.
+ */
+constexpr std::size_t kNumLifeStages = kNumLifeStamps - 1;
+
+inline const char *
+lifeStageName(std::size_t stage)
+{
+    static const char *const names[kNumLifeStages] = {
+        "padClaim",   // Enqueue -> PadClaim
+        "padWait",    // PadClaim -> PadReady (OTP buffer wait)
+        "xmit",       // PadReady -> WireEntry (XOR + departure clamp)
+        "wire",       // WireEntry -> Delivered (serialization + hops)
+        "recvVerify", // Delivered -> DeliverReady (recv pad + MAC)
+    };
+    return names[stage];
+}
+
+inline Tick &
+lifeStamp(LifeStamps &st, LifeStamp s)
+{
+    return st[static_cast<std::size_t>(s)];
+}
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_LIFECYCLE_HH

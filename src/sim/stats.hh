@@ -122,6 +122,76 @@ class Distribution : public Stat
     double max_seen_ = 0.0;
 };
 
+/**
+ * HDR-style log-bucketed histogram over non-negative integer values
+ * (latencies in cycles). Values below 2^kSubBits are counted
+ * exactly; above that, each power-of-two tier is split into
+ * 2^(kSubBits-1) sub-buckets, bounding the relative quantization
+ * error of any percentile readout to 2^-(kSubBits-1) (~3%).
+ * Recording is two array index computations and an increment — cheap
+ * enough for per-packet hot-path use. Count/sum/min/max are exact.
+ */
+class Histogram : public Stat
+{
+  public:
+    /** Sub-bucket resolution: 32 exact values, 16 buckets per tier. */
+    static constexpr unsigned kSubBits = 5;
+    static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+
+    Histogram(std::string name, std::string desc);
+
+    void record(std::uint64_t v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minSeen() const { return min_seen_; }
+    std::uint64_t maxSeen() const { return max_seen_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+    /**
+     * Value at percentile p in [0, 100], linearly interpolated
+     * within its bucket and clamped to [minSeen, maxSeen].
+     */
+    double percentile(double p) const;
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+    /**
+     * Rebuild from serialized state — the JSON round-trip path used
+     * by mgsec_report. @p buckets holds (bucketLo, count) pairs.
+     */
+    void restore(std::uint64_t count, std::uint64_t sum,
+                 std::uint64_t min, std::uint64_t max,
+                 const std::vector<
+                     std::pair<std::uint64_t, std::uint64_t>> &buckets);
+
+    /** @name Bucket geometry (exposed for tests and analyzers). */
+    /// @{
+    static std::size_t bucketIndex(std::uint64_t v);
+    static std::uint64_t bucketLo(std::size_t idx);
+    /** Exclusive upper bound of bucket idx. */
+    static std::uint64_t bucketHi(std::size_t idx);
+    static std::size_t numBuckets();
+    /// @}
+    std::uint64_t bucket(std::size_t idx) const { return buckets_[idx]; }
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(JsonWriter &w) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_seen_ = 0;
+    std::uint64_t max_seen_ = 0;
+};
+
 /** (tick, value) samples, for the paper's time-phased plots. */
 class TimeSeries : public Stat
 {

@@ -24,6 +24,9 @@
  *              "flush" (idle-timeout or drain trailer).
  *  - "replay"  instant "overflow": replay-window span exceeded.
  *  - "memprot" complete "walk": host integrity-tree walk latency.
+ *  - "attr"    complete: one span per nonzero lifecycle stage of a
+ *              delivered message (padClaim/padWait/xmit/wire/
+ *              recvVerify), emitted when latency attribution is on.
  */
 
 #ifndef MGSEC_SIM_TRACE_SINK_HH

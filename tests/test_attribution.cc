@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the per-message latency attribution layer: stage
+ * histograms must conserve exactly (components sum to end-to-end)
+ * under every scheme, and enabling attribution must never perturb
+ * simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/experiment.hh"
+#include "core/json_in.hh"
+#include "sim/latency_attr.hh"
+#include "sim/lifecycle.hh"
+#include "workload/profile.hh"
+
+using namespace mgsec;
+
+namespace
+{
+
+ExperimentConfig
+smallConfig(OtpScheme scheme, bool batching, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.batching = batching;
+    cfg.scale = 0.05;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Run one config with attribution on; return the system's results. */
+RunResult
+runAttributed(const ExperimentConfig &cfg, const std::string &wl,
+              std::unique_ptr<MultiGpuSystem> &sys_out)
+{
+    const WorkloadProfile profile =
+        makeProfile(wl, cfg.scale, cfg.numGpus);
+    sys_out = std::make_unique<MultiGpuSystem>(makeSystemConfig(cfg),
+                                               profile);
+    sys_out->enableAttribution();
+    return sys_out->run();
+}
+
+} // namespace
+
+/**
+ * The conservation invariant: every delivered message contributes to
+ * every stage histogram exactly once, and the telescoping stage
+ * durations reconstruct the end-to-end latency tick for tick.
+ */
+class AttributionConservation
+    : public ::testing::TestWithParam<std::tuple<OtpScheme, bool>>
+{};
+
+TEST_P(AttributionConservation, StagesSumToEndToEndExactly)
+{
+    const auto [scheme, batching] = GetParam();
+    for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+        std::unique_ptr<MultiGpuSystem> sys;
+        const RunResult r = runAttributed(
+            smallConfig(scheme, batching, seed), "mm", sys);
+        ASSERT_TRUE(r.completed);
+
+        const LatencyAttribution *attr = sys->attribution();
+        ASSERT_NE(attr, nullptr);
+        EXPECT_GT(attr->folds(), 0u);
+
+        std::uint64_t e2e_count = 0;
+        for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+            const LinkType link = static_cast<LinkType>(l);
+            const stats::Histogram &e2e = attr->e2e(link);
+            e2e_count += e2e.count();
+            std::uint64_t stage_sum = 0;
+            for (std::size_t s = 0; s < kNumLifeStages; ++s) {
+                const stats::Histogram &st = attr->stage(link, s);
+                // One fold feeds every stage of its link.
+                EXPECT_EQ(st.count(), e2e.count())
+                    << linkTypeName(link) << "." << lifeStageName(s)
+                    << " seed " << seed;
+                stage_sum += st.sum();
+            }
+            EXPECT_EQ(stage_sum, e2e.sum())
+                << linkTypeName(link) << " seed " << seed;
+        }
+        EXPECT_EQ(e2e_count, attr->folds());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndBatching, AttributionConservation,
+    ::testing::Combine(::testing::Values(OtpScheme::Unsecure,
+                                         OtpScheme::Private,
+                                         OtpScheme::Shared,
+                                         OtpScheme::Cached,
+                                         OtpScheme::Dynamic),
+                       ::testing::Bool()));
+
+TEST(Attribution, DoesNotPerturbSimulatedResults)
+{
+    const ExperimentConfig cfg =
+        smallConfig(OtpScheme::Dynamic, true, 3);
+    const RunResult plain = runWorkload("mm", cfg);
+
+    std::unique_ptr<MultiGpuSystem> sys;
+    const RunResult attributed = runAttributed(cfg, "mm", sys);
+
+    EXPECT_EQ(attributed.cycles, plain.cycles);
+    EXPECT_EQ(attributed.totalBytes, plain.totalBytes);
+    EXPECT_EQ(attributed.packets, plain.packets);
+    EXPECT_EQ(attributed.remoteOps, plain.remoteOps);
+    EXPECT_EQ(attributed.standaloneAcks, plain.standaloneAcks);
+}
+
+TEST(Attribution, PadStallKnobDelaysOnlySecuredSends)
+{
+    // The hidden CI fault injector must lengthen the run (it delays
+    // departures) — that is what the report gate's self-check keys on.
+    ExperimentConfig cfg = smallConfig(OtpScheme::Dynamic, true, 3);
+    const RunResult plain = runWorkload("mm", cfg);
+    cfg.debugPadStallPct = 50;
+    const RunResult stalled = runWorkload("mm", cfg);
+    EXPECT_GT(stalled.cycles, plain.cycles);
+
+    // The unsecure path has no pad wait to inflate.
+    ExperimentConfig uns = smallConfig(OtpScheme::Unsecure, false, 3);
+    const RunResult ubase = runWorkload("mm", uns);
+    uns.debugPadStallPct = 50;
+    const RunResult ustall = runWorkload("mm", uns);
+    EXPECT_EQ(ustall.cycles, ubase.cycles);
+}
+
+TEST(Attribution, StatsJsonCarriesAttrGroupOnlyWhenEnabled)
+{
+    const ExperimentConfig cfg =
+        smallConfig(OtpScheme::Private, false, 1);
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+
+    {
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        sys.run();
+        std::ostringstream os;
+        sys.dumpStatsJson(os);
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(jsonParse(os.str(), doc, err)) << err;
+        EXPECT_EQ(doc.find("attr"), nullptr);
+    }
+    {
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        sys.enableAttribution();
+        sys.run();
+        std::ostringstream os;
+        sys.dumpStatsJson(os);
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(jsonParse(os.str(), doc, err)) << err;
+        const JsonValue *attr = doc.find("attr");
+        ASSERT_NE(attr, nullptr);
+        EXPECT_NE(attr->find("nvlink.e2e"), nullptr);
+        EXPECT_NE(attr->find("pcie.padWait"), nullptr);
+    }
+}
+
+TEST(Attribution, ResetStatsClearsHistograms)
+{
+    std::unique_ptr<MultiGpuSystem> sys;
+    runAttributed(smallConfig(OtpScheme::Shared, false, 1), "mm",
+                  sys);
+    ASSERT_GT(sys->attribution()->folds(), 0u);
+    sys->resetStats();
+    EXPECT_EQ(sys->attribution()->folds(), 0u);
+    for (std::size_t l = 0; l < kNumLinkTypes; ++l)
+        EXPECT_EQ(
+            sys->attribution()->e2e(static_cast<LinkType>(l)).count(),
+            0u);
+}

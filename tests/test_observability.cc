@@ -8,10 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/experiment.hh"
+#include "core/json_in.hh"
+#include "core/sweep.hh"
 #include "core/system.hh"
 #include "sim/event_queue.hh"
 #include "sim/json_writer.hh"
@@ -210,4 +215,111 @@ TEST(Observability, ConfigHashIgnoresObservePaths)
     EXPECT_NE(configHash("mm", a), configHash("mm", c));
     EXPECT_NE(configHash("mm", a), configHash("atax", a));
     EXPECT_EQ(configHash("mm", a).size(), 16u);
+}
+
+TEST(Observability, AttributionAddsPercentileMetricColumns)
+{
+    const ExperimentConfig cfg = quick();
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+    MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+    sys.enableAttribution();
+    sys.enableMetrics(500, 1024);
+    ASSERT_TRUE(sys.run().completed);
+    std::ostringstream os;
+    sys.writeMetricsJson(os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("attr.nvlink.e2e.p50"), std::string::npos);
+    EXPECT_NE(j.find("attr.pcie.padWait.p99"), std::string::npos);
+    EXPECT_NE(j.find("gpu1.pads.wasted"), std::string::npos);
+}
+
+TEST(Observability, SweepObserveWritesHistogramsMatchingIndex)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "mgsec_test_sweep_hist";
+    fs::remove_all(dir);
+
+    Sweep sweep(0.05, 1, 2);
+    sweep.setObservability(dir.string());
+    ExperimentConfig a;
+    a.scheme = OtpScheme::Private;
+    ExperimentConfig b;
+    b.scheme = OtpScheme::Dynamic;
+    b.batching = true;
+    sweep.addRaw("mm", a);
+    sweep.addRaw("mm", b);
+    sweep.addRaw("mm", a); // duplicate: only the first writes sinks
+    sweep.run();
+
+    JsonValue idx;
+    std::string err;
+    ASSERT_TRUE(jsonParseFile((dir / "OBSERVE_INDEX.json").string(),
+                              idx, err))
+        << err;
+    const JsonValue *runs = idx.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->items.size(), 2u);
+
+    // Index entries and histogram files correspond one to one.
+    std::set<std::string> indexed;
+    for (const JsonValue &r : runs->items) {
+        const std::string hash = r.find("hash")->string;
+        indexed.insert("HIST_" + hash + ".json");
+        JsonValue hist;
+        ASSERT_TRUE(jsonParseFile(
+            (dir / ("HIST_" + hash + ".json")).string(), hist, err))
+            << err;
+        const JsonValue *attr = hist.find("attr");
+        ASSERT_NE(attr, nullptr);
+        EXPECT_NE(attr->find("nvlink.e2e"), nullptr);
+        EXPECT_GT(hist.find("folds")->asNumber(), 0.0);
+    }
+    std::set<std::string> on_disk;
+    for (const auto &ent : fs::directory_iterator(dir)) {
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("HIST_", 0) == 0)
+            on_disk.insert(name);
+    }
+    EXPECT_EQ(on_disk, indexed);
+    fs::remove_all(dir);
+}
+
+TEST(Observability, AbnormalExitStillYieldsParseableArtifacts)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "mgsec_test_abnormal";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    ExperimentConfig cfg = quick();
+    cfg.observe.metricsOut = (dir / "metrics.json").string();
+    cfg.observe.traceOut = (dir / "trace.json").string();
+    cfg.observe.statsJsonOut = (dir / "stats.json").string();
+    cfg.observe.histJsonOut = (dir / "hist.json").string();
+    cfg.observe.metricsInterval = 100;
+
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+    {
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        sys.eventq().scheduleIn(
+            static_cast<Cycles>(500), []() {
+                throw std::runtime_error("injected mid-run failure");
+            });
+        EXPECT_THROW(sys.run(), std::runtime_error);
+        // Destruction must flush and seal every sink.
+    }
+
+    for (const char *name :
+         {"metrics.json", "trace.json", "stats.json", "hist.json"}) {
+        JsonValue doc;
+        std::string err;
+        EXPECT_TRUE(
+            jsonParseFile((dir / name).string(), doc, err))
+            << name << ": " << err;
+    }
+    fs::remove_all(dir);
 }

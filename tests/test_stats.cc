@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <sstream>
 
+#include "core/json_in.hh"
+#include "sim/json_writer.hh"
 #include "sim/stats.hh"
 
 using namespace mgsec;
@@ -201,3 +204,157 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(-50.0, 50.0, 10),
                       std::make_tuple(0.25, 0.75, 3),
                       std::make_tuple(0.0, 4000.0, 40)));
+
+// --------------------------------------------------------------------
+// Histogram: HDR-style log-bucketed latency histogram.
+// --------------------------------------------------------------------
+
+TEST(HistogramStat, SmallValuesAreExactBuckets)
+{
+    // Below kSubCount every integer owns its own bucket.
+    for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLo(v), v);
+        EXPECT_EQ(Histogram::bucketHi(v), v + 1);
+    }
+}
+
+TEST(HistogramStat, BucketGeometryIsContiguousAndSelfConsistent)
+{
+    for (std::size_t i = 0; i + 1 < Histogram::numBuckets(); ++i) {
+        const std::uint64_t lo = Histogram::bucketLo(i);
+        const std::uint64_t hi = Histogram::bucketHi(i);
+        ASSERT_LT(lo, hi);
+        // Adjacent buckets tile the axis with no gap or overlap.
+        EXPECT_EQ(Histogram::bucketLo(i + 1), hi);
+        // Both edges of the bucket map back to its own index.
+        EXPECT_EQ(Histogram::bucketIndex(lo), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi - 1), i);
+    }
+    EXPECT_EQ(Histogram::bucketIndex(~0ull),
+              Histogram::numBuckets() - 1);
+}
+
+TEST(HistogramStat, CountSumMinMaxAreExact)
+{
+    Histogram h("h", "x");
+    h.record(3);
+    h.record(1ull << 40);
+    h.record(7, 3);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 3u + (1ull << 40) + 21u);
+    EXPECT_EQ(h.minSeen(), 3u);
+    EXPECT_EQ(h.maxSeen(), 1ull << 40);
+    EXPECT_DOUBLE_EQ(h.mean(),
+                     static_cast<double>(h.sum()) / 5.0);
+}
+
+TEST(HistogramStat, PercentilesInterpolateAndClamp)
+{
+    Histogram h("h", "x");
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 31.0);
+    const double p50 = h.percentile(50);
+    EXPECT_GE(p50, 14.0);
+    EXPECT_LE(p50, 17.0);
+    // Monotone in p.
+    double prev = 0.0;
+    for (double p = 0; p <= 100; p += 2.5) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        EXPECT_LE(v, 31.0);
+        prev = v;
+    }
+}
+
+TEST(HistogramStat, PercentileOfEmptyAndSingleton)
+{
+    Histogram h("h", "x");
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+    h.record(12345);
+    EXPECT_DOUBLE_EQ(h.percentile(1), 12345.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.9), 12345.0);
+}
+
+TEST(HistogramStat, MergeAddsBuckets)
+{
+    Histogram a("a", "x"), b("b", "x");
+    a.record(5);
+    a.record(1000);
+    b.record(5, 2);
+    b.record(1ull << 33);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.sum(), 5u + 1000u + 10u + (1ull << 33));
+    EXPECT_EQ(a.minSeen(), 5u);
+    EXPECT_EQ(a.maxSeen(), 1ull << 33);
+    EXPECT_EQ(a.bucket(5), 3u);
+}
+
+TEST(HistogramStat, MergeIntoEmptyTakesOtherExtremes)
+{
+    Histogram a("a", "x"), b("b", "x");
+    b.record(17);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.minSeen(), 17u);
+    EXPECT_EQ(a.maxSeen(), 17u);
+}
+
+TEST(HistogramStat, JsonRoundTripRestoresEverything)
+{
+    Histogram h("lat", "round trip");
+    // Values stay below 2^40 so count/sum survive the double-typed
+    // JSON number representation exactly (5000 * 2^40 < 2^53).
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 5000; ++i)
+        h.record(rng() % (1ull << (rng() % 41)));
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        h.dumpJson(w);
+        w.endObject();
+    }
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(os.str(), doc, err)) << err;
+    const JsonValue *j = doc.find("lat");
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->find("type")->string, "histogram");
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    for (const JsonValue &pair : j->find("buckets")->items)
+        buckets.emplace_back(
+            static_cast<std::uint64_t>(pair.items[0].number),
+            static_cast<std::uint64_t>(pair.items[1].number));
+    Histogram r("lat", "restored");
+    r.restore(static_cast<std::uint64_t>(j->find("count")->number),
+              static_cast<std::uint64_t>(j->find("sum")->number),
+              static_cast<std::uint64_t>(j->find("min")->number),
+              static_cast<std::uint64_t>(j->find("max")->number),
+              buckets);
+
+    EXPECT_EQ(r.count(), h.count());
+    EXPECT_EQ(r.sum(), h.sum());
+    EXPECT_EQ(r.minSeen(), h.minSeen());
+    EXPECT_EQ(r.maxSeen(), h.maxSeen());
+    for (std::size_t i = 0; i < Histogram::numBuckets(); ++i)
+        ASSERT_EQ(r.bucket(i), h.bucket(i)) << "bucket " << i;
+    for (double p : {50.0, 90.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(r.percentile(p), h.percentile(p));
+}
+
+TEST(HistogramStat, ResetClearsEverything)
+{
+    Histogram h("h", "x");
+    h.record(9, 4);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.bucket(9), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}

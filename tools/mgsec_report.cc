@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Offline analyzer for the simulator's observability artifacts.
+ *
+ * Report mode (one input): print a Fig. 11-shaped per-stage latency
+ * breakdown table from the "attr" histogram group of a stats/hist
+ * JSON dump, or from every run indexed in an --observe directory.
+ *
+ * Compare mode (--compare OLD NEW): flatten every numeric leaf of
+ * both documents into dotted paths, flag any value that moved by
+ * more than --threshold percent, and write a machine-readable
+ * BENCH_report.json verdict. Exit status 1 when the gate trips, so
+ * CI can use it directly as a regression gate.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/json_in.hh"
+#include "sim/json_writer.hh"
+
+namespace
+{
+
+using mgsec::JsonValue;
+
+int
+usage(const char *argv0, int status)
+{
+    std::ostream &os = status == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0 << " [options] INPUT\n"
+       << "       " << argv0 << " [options] --compare OLD NEW\n"
+       << "\n"
+       << "INPUT, OLD, NEW are stats/histogram JSON files "
+       << "(--stats-json dumps,\n"
+       << "sweep --json results, HIST_*.json) or --observe "
+       << "directories holding\n"
+       << "an OBSERVE_INDEX.json.\n"
+       << "\n"
+       << "  --compare OLD NEW  diff two inputs instead of printing "
+       << "a breakdown\n"
+       << "  --threshold PCT    flag leaves moving more than PCT% "
+       << "(default 10)\n"
+       << "  --out FILE         compare verdict JSON (default "
+       << "BENCH_report.json)\n"
+       << "  --ignore SUBSTR    skip paths containing SUBSTR "
+       << "(repeatable;\n"
+       << "                     wall-clock rates are always "
+       << "ignored)\n";
+    return status;
+}
+
+bool
+isObserveDir(const std::string &path)
+{
+    std::ifstream is(path + "/OBSERVE_INDEX.json");
+    return static_cast<bool>(is);
+}
+
+double
+num(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    return f ? f->asNumber() : 0.0;
+}
+
+/** One row of the breakdown table, read from a histogram object. */
+struct Row
+{
+    std::string label;
+    bool present = false;
+    double count = 0, sum = 0, mean = 0;
+    double p50 = 0, p90 = 0, p99 = 0, p999 = 0, max = 0;
+};
+
+Row
+makeRow(const std::string &label, const JsonValue *h)
+{
+    Row r;
+    r.label = label;
+    if (!h || !h->isObject())
+        return r;
+    r.present = true;
+    r.count = num(*h, "count");
+    r.sum = num(*h, "sum");
+    r.mean = num(*h, "mean");
+    r.p50 = num(*h, "p50");
+    r.p90 = num(*h, "p90");
+    r.p99 = num(*h, "p99");
+    r.p999 = num(*h, "p999");
+    r.max = num(*h, "max");
+    return r;
+}
+
+const char *const kStages[] = {"padClaim", "padWait", "xmit", "wire",
+                               "recvVerify"};
+const char *const kLinks[] = {"pcie", "nvlink"};
+
+/** Print the per-stage breakdown of one "attr" group object. */
+void
+printAttrTable(const JsonValue &attr)
+{
+    for (const char *link : kLinks) {
+        const Row e2e =
+            makeRow("e2e", attr.find(std::string(link) + ".e2e"));
+        if (!e2e.present || e2e.count == 0)
+            continue;
+        std::printf("\n%s (%.0f messages)\n", link, e2e.count);
+        std::printf("  %-12s %10s %10s %10s %10s %10s %10s %7s\n",
+                    "stage", "mean", "p50", "p90", "p99", "p99.9",
+                    "max", "%e2e");
+        auto line = [&](const Row &r) {
+            if (!r.present)
+                return;
+            const double share =
+                e2e.sum > 0 ? 100.0 * r.sum / e2e.sum : 0.0;
+            std::printf(
+                "  %-12s %10.1f %10.0f %10.0f %10.0f %10.0f %10.0f "
+                "%6.1f%%\n",
+                r.label.c_str(), r.mean, r.p50, r.p90, r.p99, r.p999,
+                r.max, share);
+        };
+        for (const char *st : kStages)
+            line(makeRow(st,
+                         attr.find(std::string(link) + "." + st)));
+        std::printf(
+            "  %-12s %10.1f %10.0f %10.0f %10.0f %10.0f %10.0f "
+            "%6.1f%%\n",
+            "e2e", e2e.mean, e2e.p50, e2e.p90, e2e.p99, e2e.p999,
+            e2e.max, 100.0);
+    }
+}
+
+/** Report mode over one parsed document. */
+bool
+reportDocument(const JsonValue &doc, const std::string &what)
+{
+    const JsonValue *attr = doc.find("attr");
+    if (!attr || !attr->isObject()) {
+        std::fprintf(stderr,
+                     "%s: no \"attr\" histogram group (was the run "
+                     "made with --attr on?)\n",
+                     what.c_str());
+        return false;
+    }
+    if (const JsonValue *scheme = doc.find("scheme"))
+        std::printf("scheme: %s", scheme->string.c_str());
+    if (const JsonValue *folds = doc.find("folds"))
+        std::printf("  folds: %.0f", folds->asNumber());
+    if (doc.find("scheme") || doc.find("folds"))
+        std::printf("\n");
+    printAttrTable(*attr);
+    return true;
+}
+
+/** The runs an OBSERVE_INDEX.json names, as (hash, key) pairs. */
+bool
+loadIndex(const std::string &dir,
+          std::vector<std::pair<std::string, std::string>> &out)
+{
+    JsonValue idx;
+    std::string err;
+    if (!mgsec::jsonParseFile(dir + "/OBSERVE_INDEX.json", idx,
+                              err)) {
+        std::fprintf(stderr, "%s/OBSERVE_INDEX.json: %s\n",
+                     dir.c_str(), err.c_str());
+        return false;
+    }
+    const JsonValue *runs = idx.find("runs");
+    if (!runs || !runs->isArray()) {
+        std::fprintf(stderr, "%s: index has no \"runs\" array\n",
+                     dir.c_str());
+        return false;
+    }
+    for (const JsonValue &r : runs->items) {
+        const JsonValue *h = r.find("hash");
+        const JsonValue *k = r.find("key");
+        if (h && h->isString())
+            out.emplace_back(h->string,
+                             k && k->isString() ? k->string : "");
+    }
+    return true;
+}
+
+/**
+ * Flatten every numeric leaf into (dotted path, value). Histogram
+ * bucket arrays are skipped: any bucket movement also moves the
+ * count/percentile summary fields, and path-per-bucket noise would
+ * drown the report.
+ */
+void
+flatten(const JsonValue &v, const std::string &path,
+        std::vector<std::pair<std::string, double>> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Number:
+        out.emplace_back(path, v.number);
+        break;
+      case JsonValue::Kind::Object:
+        for (const auto &[k, child] : v.fields) {
+            if (k == "buckets")
+                continue;
+            flatten(child, path.empty() ? k : path + "." + k, out);
+        }
+        break;
+      case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.items.size(); ++i)
+            flatten(v.items[i],
+                    path + "[" + std::to_string(i) + "]", out);
+        break;
+      default:
+        break;
+    }
+}
+
+struct Flagged
+{
+    std::string path;
+    double oldVal, newVal, deltaPct;
+};
+
+struct CompareStats
+{
+    std::uint64_t checked = 0;
+    std::uint64_t onlyOld = 0;
+    std::uint64_t onlyNew = 0;
+    std::vector<Flagged> flagged;
+};
+
+bool
+ignored(const std::string &path,
+        const std::vector<std::string> &ignores)
+{
+    for (const std::string &s : ignores) {
+        if (path.find(s) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
+            const std::string &prefix, double threshold,
+            const std::vector<std::string> &ignores,
+            CompareStats &cs)
+{
+    std::vector<std::pair<std::string, double>> a, b;
+    flatten(oldDoc, prefix, a);
+    flatten(newDoc, prefix, b);
+    std::map<std::string, double> bmap(b.begin(), b.end());
+    std::set<std::string> matched;
+    for (const auto &[path, ov] : a) {
+        if (ignored(path, ignores))
+            continue;
+        auto it = bmap.find(path);
+        if (it == bmap.end()) {
+            ++cs.onlyOld;
+            continue;
+        }
+        matched.insert(path);
+        ++cs.checked;
+        const double nv = it->second;
+        double delta = 0.0;
+        if (ov != 0.0)
+            delta = (nv - ov) / std::fabs(ov) * 100.0;
+        else if (nv != 0.0)
+            delta = nv > 0 ? 1e9 : -1e9; // appeared from zero
+        if (std::fabs(delta) > threshold)
+            cs.flagged.push_back(Flagged{path, ov, nv, delta});
+    }
+    for (const auto &[path, nv] : b) {
+        if (!ignored(path, ignores) && !matched.count(path))
+            ++cs.onlyNew;
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::vector<std::string> ignores = {
+        // Wall-clock-derived rates vary run to run on a shared CI
+        // host; the simulated counters are the deterministic gate.
+        "wallSec", "PerSec", "MBps", "perSec", "speedup",
+        "overheadPct",
+    };
+    double threshold = 10.0;
+    std::string outPath = "BENCH_report.json";
+    bool compare = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for '%s'\n",
+                             arg.c_str());
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--threshold") {
+            threshold = std::atof(value());
+            if (!(threshold >= 0.0)) {
+                std::fprintf(stderr, "bad --threshold value\n");
+                return 2;
+            }
+        } else if (arg == "--out") {
+            outPath = value();
+        } else if (arg == "--ignore") {
+            ignores.push_back(value());
+        } else if (arg == "--stats-json" || arg == "--observe") {
+            inputs.push_back(value());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+
+    if (compare ? inputs.size() != 2 : inputs.size() != 1)
+        return usage(argv[0], 2);
+
+    // Resolve each input to named JSON documents: a file is one
+    // document; an --observe directory is one per indexed run,
+    // matched across inputs by config hash.
+    auto loadDocs =
+        [&](const std::string &in,
+            std::vector<std::pair<std::string, JsonValue>> &docs) {
+            std::string err;
+            if (isObserveDir(in)) {
+                std::vector<std::pair<std::string, std::string>> idx;
+                if (!loadIndex(in, idx))
+                    return false;
+                for (const auto &[hash, key] : idx) {
+                    JsonValue doc;
+                    const std::string path =
+                        in + "/STATS_" + hash + ".json";
+                    if (!mgsec::jsonParseFile(path, doc, err)) {
+                        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                                     err.c_str());
+                        return false;
+                    }
+                    docs.emplace_back(hash, std::move(doc));
+                }
+                return true;
+            }
+            JsonValue doc;
+            if (!mgsec::jsonParseFile(in, doc, err)) {
+                std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                             err.c_str());
+                return false;
+            }
+            docs.emplace_back("", std::move(doc));
+            return true;
+        };
+
+    std::vector<std::pair<std::string, JsonValue>> oldDocs;
+    if (!loadDocs(inputs[0], oldDocs))
+        return 2;
+
+    if (!compare) {
+        bool any = false;
+        for (const auto &[name, doc] : oldDocs) {
+            if (!name.empty())
+                std::printf("== run %s ==\n", name.c_str());
+            any |= reportDocument(doc, name.empty() ? inputs[0]
+                                                    : name);
+        }
+        return any ? 0 : 2;
+    }
+
+    std::vector<std::pair<std::string, JsonValue>> newDocs;
+    if (!loadDocs(inputs[1], newDocs))
+        return 2;
+
+    CompareStats cs;
+    for (const auto &[name, oldDoc] : oldDocs) {
+        const JsonValue *newDoc = nullptr;
+        for (const auto &[nname, nd] : newDocs) {
+            if (nname == name) {
+                newDoc = &nd;
+                break;
+            }
+        }
+        if (!newDoc) {
+            std::fprintf(stderr,
+                         "run '%s' only present in old input\n",
+                         name.c_str());
+            ++cs.onlyOld;
+            continue;
+        }
+        compareDocs(oldDoc, *newDoc, name, threshold, ignores, cs);
+    }
+
+    const bool regressed = !cs.flagged.empty();
+    std::printf("compared %llu leaves at threshold %.3g%%: %zu "
+                "flagged (%llu only-old, %llu only-new paths)\n",
+                static_cast<unsigned long long>(cs.checked),
+                threshold, cs.flagged.size(),
+                static_cast<unsigned long long>(cs.onlyOld),
+                static_cast<unsigned long long>(cs.onlyNew));
+    for (const Flagged &f : cs.flagged)
+        std::printf("  %-50s %14g -> %14g  (%+.2f%%)\n",
+                    f.path.c_str(), f.oldVal, f.newVal, f.deltaPct);
+
+    std::ofstream os(outPath);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", outPath.c_str());
+        return 2;
+    }
+    mgsec::JsonWriter w(os);
+    w.beginObject();
+    w.field("verdict", std::string(regressed ? "regressed" : "ok"));
+    w.field("threshold", threshold);
+    w.field("checked", cs.checked);
+    w.field("onlyOld", cs.onlyOld);
+    w.field("onlyNew", cs.onlyNew);
+    w.beginArray("flagged");
+    for (const Flagged &f : cs.flagged) {
+        w.beginObject();
+        w.field("path", f.path);
+        w.field("old", f.oldVal);
+        w.field("new", f.newVal);
+        w.field("deltaPct", f.deltaPct);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+
+    return regressed ? 1 : 0;
+}
