@@ -11,10 +11,13 @@
  *
  * Usage:
  *   bench_hotpath [--json FILE] [--scale S] [--quick]
+ *                 [--crypto-impl I]
  *
  * --json FILE  also emit machine-readable results (BENCH_hotpath.json)
  * --scale S    workload size multiplier for the end-to-end run (0.2)
  * --quick      cut the microbench repetition counts ~8x (smoke runs)
+ * --crypto-impl I  tier for the non-crypto sections (auto|portable|
+ *              simd); the cryptoTiers section always measures both
  */
 
 #include <chrono>
@@ -30,8 +33,10 @@
 #include "core/experiment.hh"
 #include "core/json_out.hh"
 #include "core/system.hh"
+#include "crypto/dispatch.hh"
 #include "crypto/gcm.hh"
 #include "crypto/ghash.hh"
+#include "crypto/otp.hh"
 #include "net/packet_pool.hh"
 #include "sim/event_queue.hh"
 #include "workload/profile.hh"
@@ -54,6 +59,7 @@ struct Args
     std::string json;
     double scale = 0.2;
     bool quick = false;
+    CryptoImpl cryptoImpl = CryptoImpl::Auto;
 };
 
 Args
@@ -68,9 +74,15 @@ parseArgs(int argc, char **argv)
             a.scale = std::stod(argv[++i]);
         } else if (f == "--quick") {
             a.quick = true;
+        } else if (f == "--crypto-impl" && i + 1 < argc) {
+            if (!parseCryptoImpl(argv[++i], a.cryptoImpl)) {
+                std::cerr << "bad --crypto-impl value '" << argv[i]
+                          << "' (want auto|portable|simd)\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << "usage: bench_hotpath [--json FILE] "
-                         "[--scale S] [--quick]\n";
+                         "[--scale S] [--quick] [--crypto-impl I]\n";
             std::exit(f == "--help" ? 0 : 2);
         }
     }
@@ -120,6 +132,12 @@ bitserialGhash(const Block &h, const std::uint8_t *data,
 GhashResult
 benchGhash(bool quick)
 {
+    // Pin the portable tier so "table" keeps meaning the Shoup
+    // path whatever the process-wide selection is; the cryptoTiers
+    // section measures the SIMD tier explicitly.
+    const CryptoImpl prior = requestedCryptoImpl();
+    setCryptoImpl(CryptoImpl::Portable);
+
     const std::size_t kBufBytes = 1u << 20; // 1 MiB per pass
     const int table_reps = quick ? 8 : 64;
     const int serial_reps = quick ? 1 : 4;
@@ -164,6 +182,136 @@ benchGhash(bool quick)
         std::cerr << "FATAL: table GHASH disagrees with reference\n";
         std::exit(1);
     }
+    setCryptoImpl(prior);
+    return r;
+}
+
+// --------------------------------------------------------------------
+// Crypto tiers: portable vs. SIMD over the data-plane primitives —
+// GHASH absorption, CTR keystream, and full pad derivation.
+// --------------------------------------------------------------------
+
+struct CryptoTiersResult
+{
+    bool aesniDetected = false;
+    bool pclmulDetected = false;
+    bool ssse3Detected = false;
+    bool simdCompiledIn = false;
+    bool simdAvailable = false;
+    std::string requestedImpl;
+    std::string activeImpl;
+
+    double ghashPortableMBps = 0.0;
+    double ghashSimdMBps = 0.0;
+    double ghashSimdSpeedup = 0.0;
+    double ctrPortableMBps = 0.0;
+    double ctrSimdMBps = 0.0;
+    double ctrSimdSpeedup = 0.0;
+    double padDerivePortablePerSec = 0.0;
+    double padDeriveSimdPerSec = 0.0;
+    double padDeriveSpeedup = 0.0;
+};
+
+CryptoTiersResult
+benchCryptoTiers(bool quick)
+{
+    const std::size_t kBufBytes = 1u << 20; // 1 MiB per pass
+    std::vector<std::uint8_t> buf(kBufBytes);
+    std::mt19937_64 rng(7);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng());
+
+    std::array<std::uint8_t, 16> session_key{};
+    for (auto &b : session_key)
+        b = static_cast<std::uint8_t>(rng());
+    Block h{};
+    for (auto &b : h)
+        b = static_cast<std::uint8_t>(rng());
+    Iv96 iv{};
+    for (auto &b : iv)
+        b = static_cast<std::uint8_t>(rng());
+
+    CryptoTiersResult r;
+    const CpuFeatures &feat = cpuFeatures();
+    r.aesniDetected = feat.aesni;
+    r.pclmulDetected = feat.pclmul;
+    r.ssse3Detected = feat.ssse3;
+    r.simdCompiledIn = simdCompiledIn();
+    r.simdAvailable = simdAvailable();
+    const CryptoImpl prior = requestedCryptoImpl();
+    r.requestedImpl = cryptoImplName(prior);
+    r.activeImpl = cryptoImplName(activeCryptoImpl());
+
+    auto ghashPass = [&](CryptoImpl impl, int reps) {
+        setCryptoImpl(impl);
+        const GhashKey key(h);
+        const auto t0 = Clock::now();
+        for (int i = 0; i < reps; ++i) {
+            Ghash gh(key);
+            gh.updateBytes(buf.data(), buf.size());
+            consume(gh.digest());
+        }
+        return static_cast<double>(kBufBytes) * reps /
+               secondsSince(t0) / 1e6;
+    };
+    auto ctrPass = [&](CryptoImpl impl, int reps) {
+        setCryptoImpl(impl);
+        const AesGcm gcm(session_key);
+        const auto t0 = Clock::now();
+        for (int i = 0; i < reps; ++i) {
+            gcm.keystreamTo(iv, buf.data(), buf.size());
+            g_sink ^= buf[0];
+        }
+        return static_cast<double>(kBufBytes) * reps /
+               secondsSince(t0) / 1e6;
+    };
+    auto padPass = [&](CryptoImpl impl, int reps) {
+        setCryptoImpl(impl);
+        const PadFactory pads(session_key);
+        const auto t0 = Clock::now();
+        for (int i = 0; i < reps; ++i) {
+            const MessagePad p = pads.derive(
+                1, 2, static_cast<std::uint64_t>(i));
+            g_sink ^= p.encPad[0] ^ p.authPad[0];
+        }
+        return static_cast<double>(reps) / secondsSince(t0);
+    };
+
+    r.ghashPortableMBps =
+        ghashPass(CryptoImpl::Portable, quick ? 8 : 64);
+    r.ctrPortableMBps = ctrPass(CryptoImpl::Portable, quick ? 1 : 4);
+    r.padDerivePortablePerSec =
+        padPass(CryptoImpl::Portable, quick ? 2'000 : 20'000);
+
+    if (r.simdAvailable) {
+        // Cross-check first: both tiers must produce identical
+        // keystream bytes and GHASH digests over this very buffer.
+        std::vector<std::uint8_t> ks_p(4096), ks_s(4096);
+        setCryptoImpl(CryptoImpl::Portable);
+        AesGcm(session_key).keystreamTo(iv, ks_p.data(), ks_p.size());
+        Ghash ghp{GhashKey(h)};
+        ghp.updateBytes(buf.data(), 4096 + 24);
+        setCryptoImpl(CryptoImpl::Simd);
+        AesGcm(session_key).keystreamTo(iv, ks_s.data(), ks_s.size());
+        Ghash ghs{GhashKey(h)};
+        ghs.updateBytes(buf.data(), 4096 + 24);
+        if (ks_p != ks_s || ghp.digest() != ghs.digest()) {
+            std::cerr << "FATAL: SIMD tier disagrees with portable\n";
+            std::exit(1);
+        }
+
+        r.ghashSimdMBps =
+            ghashPass(CryptoImpl::Simd, quick ? 64 : 512);
+        r.ctrSimdMBps = ctrPass(CryptoImpl::Simd, quick ? 32 : 256);
+        r.padDeriveSimdPerSec =
+            padPass(CryptoImpl::Simd, quick ? 20'000 : 200'000);
+        r.ghashSimdSpeedup = r.ghashSimdMBps / r.ghashPortableMBps;
+        r.ctrSimdSpeedup = r.ctrSimdMBps / r.ctrPortableMBps;
+        r.padDeriveSpeedup =
+            r.padDeriveSimdPerSec / r.padDerivePortablePerSec;
+    }
+
+    setCryptoImpl(prior);
     return r;
 }
 
@@ -402,8 +550,9 @@ benchObserve(double scale, bool quick)
 
 void
 writeJson(const std::string &path, const GhashResult &gh,
-          const EventQueueResult &eq, const PacketPoolResult &pp,
-          const EndToEndResult &e2e, const ObserveResult &obs)
+          const CryptoTiersResult &ct, const EventQueueResult &eq,
+          const PacketPoolResult &pp, const EndToEndResult &e2e,
+          const ObserveResult &obs)
 {
     std::ofstream os(path);
     if (!os) {
@@ -419,6 +568,27 @@ writeJson(const std::string &path, const GhashResult &gh,
     w.field("bitserialMBps", gh.bitserialMBps);
     w.field("speedup", gh.speedup);
     w.field("bytesHashed", gh.bytesHashed);
+    w.endObject();
+
+    w.key("cryptoTiers").beginObject();
+    w.key("dispatch").beginObject();
+    w.field("aesniDetected", ct.aesniDetected);
+    w.field("pclmulDetected", ct.pclmulDetected);
+    w.field("ssse3Detected", ct.ssse3Detected);
+    w.field("simdCompiledIn", ct.simdCompiledIn);
+    w.field("simdAvailable", ct.simdAvailable);
+    w.field("requestedImpl", ct.requestedImpl);
+    w.field("activeImpl", ct.activeImpl);
+    w.endObject();
+    w.field("ghashPortableMBps", ct.ghashPortableMBps);
+    w.field("ghashSimdMBps", ct.ghashSimdMBps);
+    w.field("ghashSimdSpeedup", ct.ghashSimdSpeedup);
+    w.field("ctrPortableMBps", ct.ctrPortableMBps);
+    w.field("ctrSimdMBps", ct.ctrSimdMBps);
+    w.field("ctrSimdSpeedup", ct.ctrSimdSpeedup);
+    w.field("padDerivePortablePerSec", ct.padDerivePortablePerSec);
+    w.field("padDeriveSimdPerSec", ct.padDeriveSimdPerSec);
+    w.field("padDeriveSpeedup", ct.padDeriveSpeedup);
     w.endObject();
 
     w.key("eventQueue").beginObject();
@@ -465,6 +635,7 @@ int
 main(int argc, char **argv)
 {
     const Args args = parseArgs(argc, argv);
+    setCryptoImpl(args.cryptoImpl);
 
     std::cout << "=== hot-path perf harness\n"
               << "    measures the simulator, not the simulated "
@@ -474,6 +645,35 @@ main(int argc, char **argv)
     std::printf("ghash       table %9.1f MB/s   bit-serial %7.1f "
                 "MB/s   speedup %.1fx\n",
                 gh.tableMBps, gh.bitserialMBps, gh.speedup);
+
+    const CryptoTiersResult ct = benchCryptoTiers(args.quick);
+    std::printf("crypto      aes-ni=%d pclmul=%d ssse3=%d "
+                "compiled=%d -> active '%s'\n",
+                ct.aesniDetected ? 1 : 0, ct.pclmulDetected ? 1 : 0,
+                ct.ssse3Detected ? 1 : 0, ct.simdCompiledIn ? 1 : 0,
+                ct.activeImpl.c_str());
+    if (ct.simdAvailable) {
+        std::printf("  ghash     %9.1f MB/s portable  %9.1f MB/s "
+                    "simd   speedup %.1fx\n",
+                    ct.ghashPortableMBps, ct.ghashSimdMBps,
+                    ct.ghashSimdSpeedup);
+        std::printf("  ctr       %9.1f MB/s portable  %9.1f MB/s "
+                    "simd   speedup %.1fx\n",
+                    ct.ctrPortableMBps, ct.ctrSimdMBps,
+                    ct.ctrSimdSpeedup);
+        std::printf("  pad       %9.0f op/s portable  %9.0f op/s "
+                    "simd   speedup %.1fx\n",
+                    ct.padDerivePortablePerSec,
+                    ct.padDeriveSimdPerSec, ct.padDeriveSpeedup);
+    } else {
+        std::printf("  ghash     %9.1f MB/s portable  (no SIMD "
+                    "tier)\n",
+                    ct.ghashPortableMBps);
+        std::printf("  ctr       %9.1f MB/s portable\n",
+                    ct.ctrPortableMBps);
+        std::printf("  pad       %9.0f op/s portable\n",
+                    ct.padDerivePortablePerSec);
+    }
 
     const EventQueueResult eq = benchEventQueue(args.quick);
     std::printf("event queue %9.2f Mevents/s   (%llu events)\n",
@@ -514,7 +714,7 @@ main(int argc, char **argv)
     }
 
     if (!args.json.empty()) {
-        writeJson(args.json, gh, eq, pp, e2e, obs);
+        writeJson(args.json, gh, ct, eq, pp, e2e, obs);
         std::cout << "\nwrote " << args.json << "\n";
     }
 

@@ -24,6 +24,7 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.security.countMetadataBytes = cfg.countMetadataBytes;
     sys.security.dynParams = cfg.dynParams;
     sys.security.debugPadStallPct = cfg.debugPadStallPct;
+    sys.security.cryptoImpl = cfg.cryptoImpl;
     // The trusted host of the paper's architecture protects its
     // untrusted DRAM (PENGLAI-style); the vanilla baseline has no
     // protection anywhere. The ablation benches override the default.

@@ -60,6 +60,13 @@ struct ExperimentConfig
     std::uint32_t debugPadStallPct = 0;
 
     /**
+     * Crypto tier for the functional plane (auto/portable/simd).
+     * Host-side speed knob with bit-identical outputs, so it is NOT
+     * part of configKey — results must not depend on it.
+     */
+    crypto::CryptoImpl cryptoImpl = crypto::CryptoImpl::Auto;
+
+    /**
      * Observability sinks for this run (file paths; all empty =
      * disabled). Never part of a config's identity hash.
      */

@@ -179,6 +179,8 @@ RunOptions::set(const std::string &key, const std::string &value)
         ok = parseBool(value, exp.observe.latencyAttr);
     } else if (key == "hist-json") {
         exp.observe.histJsonOut = value;
+    } else if (key == "crypto-impl") {
+        ok = crypto::parseCryptoImpl(value, exp.cryptoImpl);
     } else if (key == "debug-pad-stall-pct") {
         // Deliberately absent from usage(): a CI-only fault injector
         // for the mgsec_report regression-gate self-check.
@@ -298,6 +300,8 @@ RunOptions::usage(std::ostream &os)
           "histograms\n"
           "  --hist-json FILE       write attribution histograms as "
           "JSON (implies --attr on)\n"
+          "  --crypto-impl I        host crypto tier: auto|portable|"
+          "simd (bit-identical results)\n"
           "  --debug FLAGS          enable trace flags "
           "('help' lists them)\n"
           "  --config FILE          read 'key = value' lines first\n";

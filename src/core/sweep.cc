@@ -43,7 +43,9 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
            << "HIST_ JSON files\n"
            << "             (tagged by config hash) plus an "
            << "OBSERVE_INDEX.json into DIR\n";
-    os << "  --debug FLAGS  enable trace flags ('help' lists "
+    os << "  --crypto-impl I  host crypto tier auto|portable|simd "
+       << "(bit-identical results)\n"
+       << "  --debug FLAGS  enable trace flags ('help' lists "
        << "them)\n";
 }
 
@@ -93,6 +95,9 @@ SweepArgs::parseArgs(int argc, char **argv)
         } else if (acceptObserve &&
                    std::strcmp(arg, "--observe") == 0) {
             observeDir = value(i);
+        } else if (std::strcmp(arg, "--crypto-impl") == 0) {
+            if (!crypto::parseCryptoImpl(value(i), cryptoImpl))
+                die("bad --crypto-impl value '%s'", argv[i]);
         } else if (std::strcmp(arg, "--debug") == 0) {
             const char *flags = value(i);
             if (std::strcmp(flags, "help") == 0) {
@@ -145,6 +150,7 @@ baselineKey(const std::string &workload, const ExperimentConfig &cfg)
 Sweep::Sweep(const SweepArgs &args)
     : Sweep(args.scale, args.seeds, args.jobs)
 {
+    crypto_impl_ = args.cryptoImpl;
     if (!args.observeDir.empty())
         setObservability(args.observeDir);
 }
@@ -178,6 +184,7 @@ Sweep::addNormalized(const std::string &workload,
 {
     MGSEC_ASSERT(!ran_, "Sweep::add after run()");
     cfg.scale = scale_;
+    cfg.cryptoImpl = crypto_impl_;
     norm_.push_back(NormRequest{workload, cfg, NormResult{}});
     return norm_.size() - 1;
 }
@@ -187,6 +194,7 @@ Sweep::addRaw(const std::string &workload, ExperimentConfig cfg)
 {
     MGSEC_ASSERT(!ran_, "Sweep::add after run()");
     cfg.scale = scale_;
+    cfg.cryptoImpl = crypto_impl_;
     raw_.push_back(RawRequest{workload, cfg, RunResult{}});
     return raw_.size() - 1;
 }

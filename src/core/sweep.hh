@@ -44,6 +44,12 @@ struct SweepArgs
     std::string jsonOut;    ///< parsed only when acceptJson
     std::string observeDir; ///< parsed only when acceptObserve
 
+    /**
+     * Host crypto tier for every queued run (--crypto-impl). Speed
+     * knob only; any setting produces bit-identical sweep output.
+     */
+    crypto::CryptoImpl cryptoImpl = crypto::CryptoImpl::Auto;
+
     bool acceptGpus = false;
     bool acceptJson = false;
     bool acceptObserve = false;
@@ -140,6 +146,7 @@ class Sweep
     double scale_;
     int seeds_;
     unsigned jobs_;
+    crypto::CryptoImpl crypto_impl_ = crypto::CryptoImpl::Auto;
     unsigned resolved_jobs_ = 0;
     bool ran_ = false;
 

@@ -15,6 +15,10 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     : cfg_(cfg), profile_(profile)
 {
     const std::uint32_t n = cfg_.numNodes();
+    // Select the host crypto tier before any Aes128/GhashKey is
+    // built (process-global; last system constructed wins, which is
+    // fine — every tier computes identical bytes).
+    crypto::setCryptoImpl(cfg_.security.cryptoImpl);
     // Pre-size the event queue: the pending population is bounded by
     // each node's outstanding-request window plus per-peer ACK/batch
     // timers and in-flight link deliveries; 2x covers lazily

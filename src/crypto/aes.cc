@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "crypto/aesni.hh"
+#include "crypto/dispatch.hh"
+
 namespace mgsec::crypto
 {
 
@@ -77,6 +80,14 @@ gmul(std::uint8_t a, std::uint8_t b)
 Aes128::Aes128(const std::array<std::uint8_t, kKeyBytes> &key)
 {
     ensureInvSbox();
+#ifdef MGSEC_HAVE_SIMD
+    // AESKEYGENASSIST produces the identical 176-byte schedule, so
+    // either tier can consume a key expanded by the other.
+    if (simdActive()) {
+        aesni::expandKey(key.data(), round_keys_.data());
+        return;
+    }
+#endif
     std::memcpy(round_keys_.data(), key.data(), kKeyBytes);
     for (int i = 4; i < 4 * (kRounds + 1); ++i) {
         std::uint8_t tmp[4];
@@ -100,6 +111,12 @@ Aes128::Aes128(const std::array<std::uint8_t, kKeyBytes> &key)
 void
 Aes128::encryptBlock(Block &b) const
 {
+#ifdef MGSEC_HAVE_SIMD
+    if (simdActive()) {
+        aesni::encryptBlock(round_keys_.data(), b.data());
+        return;
+    }
+#endif
     auto add_round_key = [&](int round) {
         for (int i = 0; i < 16; ++i)
             b[i] ^= round_keys_[16 * round + i];
@@ -141,6 +158,23 @@ Aes128::encryptBlock(Block &b) const
     sub_bytes();
     shift_rows();
     add_round_key(kRounds);
+}
+
+void
+Aes128::encryptBlocks(std::uint8_t *blocks, std::size_t n) const
+{
+#ifdef MGSEC_HAVE_SIMD
+    if (simdActive()) {
+        aesni::encryptBlocks(round_keys_.data(), blocks, n);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i) {
+        Block b;
+        std::memcpy(b.data(), blocks + 16 * i, 16);
+        encryptBlock(b);
+        std::memcpy(blocks + 16 * i, b.data(), 16);
+    }
 }
 
 void

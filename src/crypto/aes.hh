@@ -7,6 +7,11 @@
  * the paper's 40-cycle latency model); the functional secure-channel
  * layer and the test suite use it to prove the protocol actually
  * encrypts, authenticates, and round-trips.
+ *
+ * When the build carries the SIMD tier and crypto::simdActive(), the
+ * encrypt paths route through AES-NI (see crypto/aesni.hh). Both
+ * tiers share the same FIPS-197 expanded-key layout, so selection is
+ * per call, not baked in at construction.
  */
 
 #ifndef MGSEC_CRYPTO_AES_HH
@@ -34,6 +39,13 @@ class Aes128
 
     /** Encrypt one 16-byte block in place. */
     void encryptBlock(Block &b) const;
+    /**
+     * Encrypt @p n consecutive 16-byte blocks in place. On the SIMD
+     * tier the blocks run eight-wide through the AES-NI pipeline;
+     * callers with independent blocks (CTR keystream, OTP pads)
+     * should batch through this instead of looping encryptBlock.
+     */
+    void encryptBlocks(std::uint8_t *blocks, std::size_t n) const;
     /** Decrypt one 16-byte block in place. */
     void decryptBlock(Block &b) const;
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * AES-NI implementations — the only TU compiled with `-maes`.
+ */
+
+#include "crypto/aesni.hh"
+
+#include <wmmintrin.h>
+
+namespace mgsec::crypto::aesni
+{
+
+namespace
+{
+
+/**
+ * One round of the AES-128 schedule: fold the previous round key
+ * into the SubWord/RotWord/Rcon output AESKEYGENASSIST leaves in the
+ * high dword.
+ */
+inline __m128i
+expandStep(__m128i key, __m128i assist)
+{
+    assist = _mm_shuffle_epi32(assist, _MM_SHUFFLE(3, 3, 3, 3));
+    key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+    key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+    key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+    return _mm_xor_si128(key, assist);
+}
+
+} // anonymous namespace
+
+void
+expandKey(const std::uint8_t key[16], std::uint8_t round_keys[176])
+{
+    __m128i k = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(key));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(round_keys), k);
+    // AESKEYGENASSIST takes the Rcon as an immediate, so the ten
+    // rounds are spelled out rather than looped.
+#define MGSEC_EXPAND_ROUND(i, rcon)                                   \
+    k = expandStep(k, _mm_aeskeygenassist_si128(k, rcon));            \
+    _mm_storeu_si128(                                                 \
+        reinterpret_cast<__m128i *>(round_keys + 16 * (i)), k)
+    MGSEC_EXPAND_ROUND(1, 0x01);
+    MGSEC_EXPAND_ROUND(2, 0x02);
+    MGSEC_EXPAND_ROUND(3, 0x04);
+    MGSEC_EXPAND_ROUND(4, 0x08);
+    MGSEC_EXPAND_ROUND(5, 0x10);
+    MGSEC_EXPAND_ROUND(6, 0x20);
+    MGSEC_EXPAND_ROUND(7, 0x40);
+    MGSEC_EXPAND_ROUND(8, 0x80);
+    MGSEC_EXPAND_ROUND(9, 0x1b);
+    MGSEC_EXPAND_ROUND(10, 0x36);
+#undef MGSEC_EXPAND_ROUND
+}
+
+void
+encryptBlock(const std::uint8_t round_keys[176],
+             std::uint8_t block[16])
+{
+    const __m128i *rk =
+        reinterpret_cast<const __m128i *>(round_keys);
+    __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(block));
+    b = _mm_xor_si128(b, _mm_loadu_si128(rk));
+    for (int r = 1; r < 10; ++r)
+        b = _mm_aesenc_si128(b, _mm_loadu_si128(rk + r));
+    b = _mm_aesenclast_si128(b, _mm_loadu_si128(rk + 10));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(block), b);
+}
+
+void
+encryptBlocks(const std::uint8_t round_keys[176],
+              std::uint8_t *blocks, std::size_t n)
+{
+    const __m128i *rkp =
+        reinterpret_cast<const __m128i *>(round_keys);
+    __m128i rk[11];
+    for (int r = 0; r <= 10; ++r)
+        rk[r] = _mm_loadu_si128(rkp + r);
+
+    while (n >= 8) {
+        __m128i *p = reinterpret_cast<__m128i *>(blocks);
+        __m128i b0 = _mm_xor_si128(_mm_loadu_si128(p + 0), rk[0]);
+        __m128i b1 = _mm_xor_si128(_mm_loadu_si128(p + 1), rk[0]);
+        __m128i b2 = _mm_xor_si128(_mm_loadu_si128(p + 2), rk[0]);
+        __m128i b3 = _mm_xor_si128(_mm_loadu_si128(p + 3), rk[0]);
+        __m128i b4 = _mm_xor_si128(_mm_loadu_si128(p + 4), rk[0]);
+        __m128i b5 = _mm_xor_si128(_mm_loadu_si128(p + 5), rk[0]);
+        __m128i b6 = _mm_xor_si128(_mm_loadu_si128(p + 6), rk[0]);
+        __m128i b7 = _mm_xor_si128(_mm_loadu_si128(p + 7), rk[0]);
+        for (int r = 1; r < 10; ++r) {
+            b0 = _mm_aesenc_si128(b0, rk[r]);
+            b1 = _mm_aesenc_si128(b1, rk[r]);
+            b2 = _mm_aesenc_si128(b2, rk[r]);
+            b3 = _mm_aesenc_si128(b3, rk[r]);
+            b4 = _mm_aesenc_si128(b4, rk[r]);
+            b5 = _mm_aesenc_si128(b5, rk[r]);
+            b6 = _mm_aesenc_si128(b6, rk[r]);
+            b7 = _mm_aesenc_si128(b7, rk[r]);
+        }
+        _mm_storeu_si128(p + 0, _mm_aesenclast_si128(b0, rk[10]));
+        _mm_storeu_si128(p + 1, _mm_aesenclast_si128(b1, rk[10]));
+        _mm_storeu_si128(p + 2, _mm_aesenclast_si128(b2, rk[10]));
+        _mm_storeu_si128(p + 3, _mm_aesenclast_si128(b3, rk[10]));
+        _mm_storeu_si128(p + 4, _mm_aesenclast_si128(b4, rk[10]));
+        _mm_storeu_si128(p + 5, _mm_aesenclast_si128(b5, rk[10]));
+        _mm_storeu_si128(p + 6, _mm_aesenclast_si128(b6, rk[10]));
+        _mm_storeu_si128(p + 7, _mm_aesenclast_si128(b7, rk[10]));
+        blocks += 8 * 16;
+        n -= 8;
+    }
+    // Tail: up to seven blocks, still overlapped in one pass.
+    if (n > 0) {
+        __m128i *p = reinterpret_cast<__m128i *>(blocks);
+        __m128i b[7];
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = _mm_xor_si128(
+                _mm_loadu_si128(p + static_cast<std::ptrdiff_t>(i)),
+                rk[0]);
+        for (int r = 1; r < 10; ++r)
+            for (std::size_t i = 0; i < n; ++i)
+                b[i] = _mm_aesenc_si128(b[i], rk[r]);
+        for (std::size_t i = 0; i < n; ++i)
+            _mm_storeu_si128(p + static_cast<std::ptrdiff_t>(i),
+                             _mm_aesenclast_si128(b[i], rk[10]));
+    }
+}
+
+} // namespace mgsec::crypto::aesni

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AES-NI backend of the SIMD crypto tier.
+ *
+ * Declarations only — this header is intrinsic-free so any TU can
+ * include it; the definitions live in aesni.cc, the one translation
+ * unit compiled with `-maes`. The functions operate on the standard
+ * FIPS-197 byte layout of the expanded key (11 x 16 bytes), which is
+ * exactly what the portable `Aes128` already stores, so the two
+ * tiers share one key schedule representation and can be swapped per
+ * call.
+ *
+ * Callers must gate every call on crypto::simdAvailable(): when the
+ * SIMD TUs are not compiled in, these symbols do not exist.
+ */
+
+#ifndef MGSEC_CRYPTO_AESNI_HH
+#define MGSEC_CRYPTO_AESNI_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgsec::crypto::aesni
+{
+
+/**
+ * AES-128 key schedule via AESKEYGENASSIST. Produces the identical
+ * 176 bytes the portable expansion computes.
+ */
+void expandKey(const std::uint8_t key[16],
+               std::uint8_t round_keys[176]);
+
+/** Encrypt one 16-byte block in place. */
+void encryptBlock(const std::uint8_t round_keys[176],
+                  std::uint8_t block[16]);
+
+/**
+ * Encrypt @p n consecutive 16-byte blocks in place, pipelined eight
+ * at a time (the AESENC units of every AES-NI core overlap
+ * independent blocks; eight keeps the pipeline full without spilling
+ * xmm registers).
+ */
+void encryptBlocks(const std::uint8_t round_keys[176],
+                   std::uint8_t *blocks, std::size_t n);
+
+} // namespace mgsec::crypto::aesni
+
+#endif // MGSEC_CRYPTO_AESNI_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * PCLMUL GHASH implementation — the only TU compiled with
+ * `-mpclmul` (plus `-mssse3` for the byte-swap shuffle).
+ */
+
+#include "crypto/clmul.hh"
+
+#include <tmmintrin.h>
+#include <wmmintrin.h>
+
+namespace mgsec::crypto::clmul
+{
+
+namespace
+{
+
+/** Byte-reverse a block: GCM byte order <-> reflected domain. */
+inline __m128i
+bswap(__m128i x)
+{
+    const __m128i mask =
+        _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                     14, 15);
+    return _mm_shuffle_epi8(x, mask);
+}
+
+/**
+ * 128x128 -> 256-bit carry-less product via Karatsuba: three
+ * PCLMULQDQs instead of four. @p mid is the cross term, to be folded
+ * in at bit offset 64 by the caller.
+ */
+inline void
+mulNoReduce(__m128i a, __m128i b, __m128i &lo, __m128i &hi,
+            __m128i &mid)
+{
+    const __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
+    const __m128i t1 = _mm_clmulepi64_si128(a, b, 0x11);
+    const __m128i ax = _mm_xor_si128(a, _mm_srli_si128(a, 8));
+    const __m128i bx = _mm_xor_si128(b, _mm_srli_si128(b, 8));
+    const __m128i t2 = _mm_clmulepi64_si128(ax, bx, 0x00);
+    lo = t0;
+    hi = t1;
+    mid = _mm_xor_si128(t2, _mm_xor_si128(t0, t1));
+}
+
+/**
+ * Shift the 256-bit product (hi:lo, mid already folded) left one bit
+ * — the reflected-domain fix-up — and reduce modulo the reflected
+ * GCM polynomial x^128 + x^7 + x^2 + x + 1.
+ */
+inline __m128i
+shiftAndReduce(__m128i lo, __m128i hi)
+{
+    __m128i t7 = _mm_srli_epi32(lo, 31);
+    __m128i t8 = _mm_srli_epi32(hi, 31);
+    lo = _mm_slli_epi32(lo, 1);
+    hi = _mm_slli_epi32(hi, 1);
+    const __m128i t9 = _mm_srli_si128(t7, 12);
+    t8 = _mm_slli_si128(t8, 4);
+    t7 = _mm_slli_si128(t7, 4);
+    lo = _mm_or_si128(lo, t7);
+    hi = _mm_or_si128(hi, t8);
+    hi = _mm_or_si128(hi, t9);
+
+    t7 = _mm_slli_epi32(lo, 31);
+    t8 = _mm_xor_si128(_mm_slli_epi32(lo, 30),
+                       _mm_slli_epi32(lo, 25));
+    t7 = _mm_xor_si128(t7, t8);
+    const __m128i carry = _mm_srli_si128(t7, 4);
+    t7 = _mm_slli_si128(t7, 12);
+    lo = _mm_xor_si128(lo, t7);
+
+    __m128i t2 = _mm_srli_epi32(lo, 1);
+    t2 = _mm_xor_si128(t2, _mm_srli_epi32(lo, 2));
+    t2 = _mm_xor_si128(t2, _mm_srli_epi32(lo, 7));
+    t2 = _mm_xor_si128(t2, carry);
+    lo = _mm_xor_si128(lo, t2);
+    return _mm_xor_si128(hi, lo);
+}
+
+/** Full single multiplication in the reflected domain. */
+inline __m128i
+gfmulReflected(__m128i a, __m128i b)
+{
+    __m128i lo, hi, mid;
+    mulNoReduce(a, b, lo, hi, mid);
+    lo = _mm_xor_si128(lo, _mm_slli_si128(mid, 8));
+    hi = _mm_xor_si128(hi, _mm_srli_si128(mid, 8));
+    return shiftAndReduce(lo, hi);
+}
+
+inline __m128i
+loadPower(const GhashPowers &key, int i)
+{
+    return _mm_load_si128(
+        reinterpret_cast<const __m128i *>(key.p[i]));
+}
+
+} // anonymous namespace
+
+void
+initPowers(const std::uint8_t h[16], GhashPowers &out)
+{
+    const __m128i h1 = bswap(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(h)));
+    __m128i p = h1;
+    _mm_store_si128(reinterpret_cast<__m128i *>(out.p[0]), p);
+    for (int i = 1; i < 4; ++i) {
+        p = gfmulReflected(p, h1);
+        _mm_store_si128(reinterpret_cast<__m128i *>(out.p[i]), p);
+    }
+}
+
+void
+ghashBlocks(const GhashPowers &key, std::uint64_t &yhi,
+            std::uint64_t &ylo, const std::uint8_t *data,
+            std::size_t nblocks)
+{
+    // The byte-swapped form of a GCM block is exactly (hi:lo) of its
+    // U128 big-endian halves, so the state converts for free.
+    __m128i y = _mm_set_epi64x(static_cast<long long>(yhi),
+                               static_cast<long long>(ylo));
+    const __m128i h1 = loadPower(key, 0);
+
+    if (nblocks >= 4) {
+        const __m128i h2 = loadPower(key, 1);
+        const __m128i h3 = loadPower(key, 2);
+        const __m128i h4 = loadPower(key, 3);
+        while (nblocks >= 4) {
+            const __m128i *p =
+                reinterpret_cast<const __m128i *>(data);
+            // Y' = (Y^X0)H^4 ^ X1 H^3 ^ X2 H^2 ^ X3 H, with one
+            // shared shift-and-reduce for the whole aggregate.
+            __m128i lo, hi, mid, l, h, m;
+            mulNoReduce(_mm_xor_si128(bswap(_mm_loadu_si128(p)), y),
+                        h4, lo, hi, mid);
+            mulNoReduce(bswap(_mm_loadu_si128(p + 1)), h3, l, h, m);
+            lo = _mm_xor_si128(lo, l);
+            hi = _mm_xor_si128(hi, h);
+            mid = _mm_xor_si128(mid, m);
+            mulNoReduce(bswap(_mm_loadu_si128(p + 2)), h2, l, h, m);
+            lo = _mm_xor_si128(lo, l);
+            hi = _mm_xor_si128(hi, h);
+            mid = _mm_xor_si128(mid, m);
+            mulNoReduce(bswap(_mm_loadu_si128(p + 3)), h1, l, h, m);
+            lo = _mm_xor_si128(lo, l);
+            hi = _mm_xor_si128(hi, h);
+            mid = _mm_xor_si128(mid, m);
+            lo = _mm_xor_si128(lo, _mm_slli_si128(mid, 8));
+            hi = _mm_xor_si128(hi, _mm_srli_si128(mid, 8));
+            y = shiftAndReduce(lo, hi);
+            data += 64;
+            nblocks -= 4;
+        }
+    }
+    while (nblocks > 0) {
+        const __m128i x = bswap(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data)));
+        y = gfmulReflected(_mm_xor_si128(y, x), h1);
+        data += 16;
+        --nblocks;
+    }
+
+    alignas(16) std::uint64_t out[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(out), y);
+    ylo = out[0];
+    yhi = out[1];
+}
+
+} // namespace mgsec::crypto::clmul

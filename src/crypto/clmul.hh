@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PCLMULQDQ GHASH backend of the SIMD crypto tier.
+ *
+ * Declarations and the power-table POD only — intrinsic-free so the
+ * portable `GhashKey` can embed a `GhashPowers` unconditionally; the
+ * definitions live in clmul.cc, the one TU compiled with `-mpclmul`.
+ *
+ * The implementation follows the reflected-reduction construction of
+ * Intel's carry-less-multiplication GCM white paper: operands are
+ * byte-swapped into the bit-reflected domain, products are formed
+ * with three PCLMULQDQs per multiplication (Karatsuba), four blocks
+ * are aggregated against precomputed H^1..H^4 so each 64-byte span
+ * pays for a single shift-and-reduce, and the result is reduced
+ * modulo the reflected GCM polynomial.
+ *
+ * Callers must gate every call on crypto::simdAvailable().
+ */
+
+#ifndef MGSEC_CRYPTO_CLMUL_HH
+#define MGSEC_CRYPTO_CLMUL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgsec::crypto::clmul
+{
+
+/**
+ * Precomputed hash-subkey powers H^1..H^4, stored in the backend's
+ * byte-swapped internal form (p[0] is H^1). Plain bytes so the
+ * struct is layout-stable across TUs compiled with different flags.
+ */
+struct GhashPowers
+{
+    alignas(16) std::uint8_t p[4][16]{};
+};
+
+/** Derive H^2..H^4 from the GCM-order hash subkey @p h. */
+void initPowers(const std::uint8_t h[16], GhashPowers &out);
+
+/**
+ * Fold @p nblocks whole 16-byte blocks of @p data into the GHASH
+ * state (@p yhi / @p ylo hold the state's big-endian halves, i.e.
+ * exactly U128::hi / U128::lo).
+ */
+void ghashBlocks(const GhashPowers &key, std::uint64_t &yhi,
+                 std::uint64_t &ylo, const std::uint8_t *data,
+                 std::size_t nblocks);
+
+} // namespace mgsec::crypto::clmul
+
+#endif // MGSEC_CRYPTO_CLMUL_HH

@@ -25,31 +25,56 @@ AesGcm::counterBlock(const Iv96 &iv, std::uint32_t ctr) const
     return b;
 }
 
+namespace
+{
+
+/**
+ * Keystream chunk size: eight counter blocks, matching the width of
+ * the AES-NI pipeline in Aes128::encryptBlocks. The portable tier
+ * just loops; the batch shape costs it nothing.
+ */
+constexpr std::size_t kBatchBytes = 8 * 16;
+
+/** Format counter blocks IV||ctr .. IV||ctr+n-1 into @p buf. */
+inline void
+fillCounterBlocks(const Iv96 &iv, std::uint32_t &ctr,
+                  std::uint8_t *buf, std::size_t nblocks)
+{
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(buf + 16 * i, iv.data(), iv.size());
+        store32be(buf + 16 * i + 12, ctr++);
+    }
+}
+
+} // anonymous namespace
+
 void
 AesGcm::ctrCrypt(const Iv96 &iv, const std::uint8_t *in,
                  std::uint8_t *out, std::size_t len) const
 {
     std::uint32_t ctr = 2; // J0 = IV || 1; data starts at inc32(J0).
+    std::uint8_t ks[kBatchBytes];
     std::size_t off = 0;
-    while (off + 16 <= len) {
-        const Block ks = aes_.encrypt(counterBlock(iv, ctr++));
+    while (off < len) {
+        const std::size_t want = len - off;
+        const std::size_t nblk =
+            std::min<std::size_t>(kBatchBytes, want + 15) / 16;
+        fillCounterBlocks(iv, ctr, ks, nblk);
+        aes_.encryptBlocks(ks, nblk);
+        const std::size_t n = std::min(want, 16 * nblk);
         // Word-wise XOR: XOR is bytewise, so endianness is moot.
-        std::uint64_t a, b, k0, k1;
-        std::memcpy(&a, in + off, 8);
-        std::memcpy(&b, in + off + 8, 8);
-        std::memcpy(&k0, ks.data(), 8);
-        std::memcpy(&k1, ks.data() + 8, 8);
-        a ^= k0;
-        b ^= k1;
-        std::memcpy(out + off, &a, 8);
-        std::memcpy(out + off + 8, &b, 8);
-        off += 16;
-    }
-    if (off < len) {
-        const Block ks = aes_.encrypt(counterBlock(iv, ctr));
-        for (std::size_t i = 0; off + i < len; ++i)
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            std::uint64_t a, k;
+            std::memcpy(&a, in + off + i, 8);
+            std::memcpy(&k, ks + i, 8);
+            a ^= k;
+            std::memcpy(out + off + i, &a, 8);
+        }
+        for (; i < n; ++i)
             out[off + i] =
                 static_cast<std::uint8_t>(in[off + i] ^ ks[i]);
+        off += n;
     }
 }
 
@@ -58,11 +83,16 @@ AesGcm::keystreamTo(const Iv96 &iv, std::uint8_t *out,
                     std::size_t len) const
 {
     std::uint32_t ctr = 2;
+    std::uint8_t ks[kBatchBytes];
     std::size_t off = 0;
     while (off < len) {
-        const Block ks = aes_.encrypt(counterBlock(iv, ctr++));
-        const std::size_t n = std::min<std::size_t>(16, len - off);
-        std::memcpy(out + off, ks.data(), n);
+        const std::size_t want = len - off;
+        const std::size_t nblk =
+            std::min<std::size_t>(kBatchBytes, want + 15) / 16;
+        fillCounterBlocks(iv, ctr, ks, nblk);
+        aes_.encryptBlocks(ks, nblk);
+        const std::size_t n = std::min(want, 16 * nblk);
+        std::memcpy(out + off, ks, n);
         off += n;
     }
 }

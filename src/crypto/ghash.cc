@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/dispatch.hh"
+
 namespace mgsec::crypto
 {
 
@@ -83,6 +85,15 @@ GhashKey::GhashKey(const Block &h)
             hl_[i + j] = hl_[i] ^ hl_[j];
         }
     }
+    // Precompute the PCLMUL powers whenever the machine can use them
+    // (not only when SIMD is currently selected): the active tier is
+    // process-global and may flip after this key is built.
+#ifdef MGSEC_HAVE_SIMD
+    if (simdAvailable()) {
+        clmul::initPowers(h.data(), powers_);
+        simd_ready_ = true;
+    }
+#endif
 }
 
 U128
@@ -110,27 +121,37 @@ GhashKey::mul(const U128 &x) const
 }
 
 void
+Ghash::absorbBlocks(const std::uint8_t *data, std::size_t nblocks)
+{
+#ifdef MGSEC_HAVE_SIMD
+    if (key_.simdReady() && simdActive()) {
+        clmul::ghashBlocks(key_.powers(), y_.hi, y_.lo, data,
+                           nblocks);
+        return;
+    }
+#endif
+    while (nblocks-- > 0) {
+        y_.hi ^= load64be(data);
+        y_.lo ^= load64be(data + 8);
+        y_ = key_.mul(y_);
+        data += 16;
+    }
+}
+
+void
 Ghash::update(const Block &b)
 {
-    y_.hi ^= load64be(b.data());
-    y_.lo ^= load64be(b.data() + 8);
-    y_ = key_.mul(y_);
+    absorbBlocks(b.data(), 1);
 }
 
 void
 Ghash::updateBytes(const std::uint8_t *data, std::size_t len)
 {
-    while (len >= 16) {
-        y_.hi ^= load64be(data);
-        y_.lo ^= load64be(data + 8);
-        y_ = key_.mul(y_);
-        data += 16;
-        len -= 16;
-    }
-    if (len > 0) {
+    absorbBlocks(data, len / 16);
+    if (len % 16 != 0) {
         Block b;
         b.fill(0);
-        std::memcpy(b.data(), data, len);
+        std::memcpy(b.data(), data + (len - len % 16), len % 16);
         update(b);
     }
 }

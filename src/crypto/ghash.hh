@@ -11,6 +11,12 @@
  * block in 32 table lookups. The streaming Ghash class uses the
  * table; gfmul() is kept as the cross-check oracle for the tests and
  * the perf harness baseline.
+ *
+ * A third path exists when the build carries the SIMD tier and the
+ * CPU has PCLMULQDQ: GhashKey also precomputes the clmul power table
+ * and Ghash routes whole-block spans through the 4-block aggregated
+ * carry-less-multiply backend whenever crypto::simdActive(). All
+ * three paths produce identical digests.
  */
 
 #ifndef MGSEC_CRYPTO_GHASH_HH
@@ -21,6 +27,7 @@
 #include <cstring>
 
 #include "crypto/aes.hh"
+#include "crypto/clmul.hh"
 
 namespace mgsec::crypto
 {
@@ -47,6 +54,27 @@ store64be(std::uint8_t *p, std::uint64_t v)
 {
 #if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_BIG_ENDIAN__
     v = __builtin_bswap64(v);
+#endif
+    std::memcpy(p, &v, sizeof(v));
+}
+
+inline std::uint32_t
+load32be(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap32(v);
+#endif
+}
+
+inline void
+store32be(std::uint8_t *p, std::uint32_t v)
+{
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_BIG_ENDIAN__
+    v = __builtin_bswap32(v);
 #endif
     std::memcpy(p, &v, sizeof(v));
 }
@@ -83,10 +111,20 @@ class GhashKey
     /** X * H in GF(2^128). */
     U128 mul(const U128 &x) const;
 
+    /** True when the clmul power table was precomputed. */
+    bool simdReady() const { return simd_ready_; }
+    const clmul::GhashPowers &powers() const { return powers_; }
+
   private:
     /** tbl hi/lo words indexed by a 4-bit multiplier nibble. */
     std::uint64_t hh_[16]{};
     std::uint64_t hl_[16]{};
+    /**
+     * H^1..H^4 for the PCLMUL path, populated whenever the machine
+     * can run it so the active tier may change after construction.
+     */
+    clmul::GhashPowers powers_;
+    bool simd_ready_ = false;
 };
 
 /**
@@ -111,6 +149,9 @@ class Ghash
     void reset() { y_ = U128{}; }
 
   private:
+    /** Fold whole blocks through the active multiplication tier. */
+    void absorbBlocks(const std::uint8_t *data, std::size_t nblocks);
+
     GhashKey key_;
     U128 y_{};
 };

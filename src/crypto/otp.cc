@@ -41,9 +41,16 @@ PadFactory::derive(NodeId sender, NodeId receiver,
 BlockPayload
 PadFactory::crypt(const BlockPayload &data, const MessagePad &pad)
 {
+    // XOR is bytewise, so word-at-a-time needs no endian care.
     BlockPayload out;
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out[i] = static_cast<std::uint8_t>(data[i] ^ pad.encPad[i]);
+    static_assert(std::tuple_size<BlockPayload>::value % 8 == 0);
+    for (std::size_t i = 0; i < data.size(); i += 8) {
+        std::uint64_t a, k;
+        std::memcpy(&a, data.data() + i, 8);
+        std::memcpy(&k, pad.encPad.data() + i, 8);
+        a ^= k;
+        std::memcpy(out.data() + i, &a, 8);
+    }
     return out;
 }
 
@@ -54,12 +61,14 @@ PadFactory::mac(const BlockPayload &cipher, NodeId sender,
 {
     Ghash gh(gcm_.hashTables());
     gh.updateBytes(cipher.data(), cipher.size());
+    // Header block: 8 B counter, then sender and receiver ids as
+    // 16-bit fields — all big-endian through the shared store
+    // helpers, like every other wire-format block.
     Block hdr{};
     store64be(hdr.data(), ctr);
-    hdr[8] = static_cast<std::uint8_t>(sender);
-    hdr[9] = static_cast<std::uint8_t>(sender >> 8);
-    hdr[10] = static_cast<std::uint8_t>(receiver);
-    hdr[11] = static_cast<std::uint8_t>(receiver >> 8);
+    store64be(hdr.data() + 8,
+              (static_cast<std::uint64_t>(sender) << 48) |
+                  (static_cast<std::uint64_t>(receiver) << 32));
     gh.update(hdr);
     const Block digest = gh.digest();
     MsgMac out;

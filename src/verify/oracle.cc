@@ -88,12 +88,14 @@ SecurityOracle::shadowMsgMac(const crypto::BlockPayload &cipher,
     for (std::size_t off = 0; off < cipher.size(); off += 16)
         y = ghashAbsorb(y, hash_key_,
                         blockFromBytes(cipher.data() + off, 16));
+    // Re-stated from the spec: 8 B big-endian counter, then sender
+    // and receiver ids as big-endian 16-bit fields.
     crypto::Block hdr{};
     crypto::store64be(hdr.data(), ctr);
-    hdr[8] = static_cast<std::uint8_t>(sender);
-    hdr[9] = static_cast<std::uint8_t>(sender >> 8);
-    hdr[10] = static_cast<std::uint8_t>(receiver);
-    hdr[11] = static_cast<std::uint8_t>(receiver >> 8);
+    crypto::store64be(hdr.data() + 8,
+                      (static_cast<std::uint64_t>(sender) << 48) |
+                          (static_cast<std::uint64_t>(receiver)
+                           << 32));
     y = ghashAbsorb(y, hash_key_, hdr);
     const crypto::Block digest = crypto::u128ToBlock(y);
     crypto::MsgMac out;

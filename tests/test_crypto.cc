@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "crypto/aes.hh"
+#include "crypto/dispatch.hh"
 #include "crypto/gcm.hh"
 #include "crypto/ghash.hh"
 
@@ -316,3 +319,219 @@ TEST_P(GcmLengths, SealOpenRoundTrips)
 INSTANTIATE_TEST_SUITE_P(Lengths, GcmLengths,
                          ::testing::Values(0u, 1u, 15u, 16u, 17u, 31u,
                                            32u, 63u, 64u, 65u, 255u));
+
+// --------------------------------------------------------------------
+// Dispatch and portable-vs-SIMD cross-validation.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Force a crypto tier for one scope, restoring the prior request. */
+class ScopedImpl
+{
+  public:
+    explicit ScopedImpl(CryptoImpl impl) : prior_(requestedCryptoImpl())
+    {
+        setCryptoImpl(impl);
+    }
+    ~ScopedImpl() { setCryptoImpl(prior_); }
+
+  private:
+    CryptoImpl prior_;
+};
+
+} // anonymous namespace
+
+TEST(CryptoDispatch, ParseAcceptsCanonicalNames)
+{
+    CryptoImpl impl = CryptoImpl::Auto;
+    EXPECT_TRUE(parseCryptoImpl("portable", impl));
+    EXPECT_EQ(impl, CryptoImpl::Portable);
+    EXPECT_TRUE(parseCryptoImpl("SIMD", impl));
+    EXPECT_EQ(impl, CryptoImpl::Simd);
+    EXPECT_TRUE(parseCryptoImpl("Auto", impl));
+    EXPECT_EQ(impl, CryptoImpl::Auto);
+    EXPECT_FALSE(parseCryptoImpl("avx512", impl));
+    EXPECT_STREQ(cryptoImplName(CryptoImpl::Portable), "portable");
+    EXPECT_STREQ(cryptoImplName(CryptoImpl::Simd), "simd");
+}
+
+TEST(CryptoDispatch, ActiveImplNeverAuto)
+{
+    ScopedImpl scope(CryptoImpl::Auto);
+    EXPECT_NE(activeCryptoImpl(), CryptoImpl::Auto);
+}
+
+TEST(CryptoDispatch, ForcedPortableSticksEverywhere)
+{
+    ScopedImpl scope(CryptoImpl::Portable);
+    EXPECT_EQ(activeCryptoImpl(), CryptoImpl::Portable);
+    EXPECT_FALSE(simdActive());
+}
+
+TEST(CryptoDispatch, ForcedSimdDegradesGracefully)
+{
+    ScopedImpl scope(CryptoImpl::Simd);
+    if (simdAvailable())
+        EXPECT_EQ(activeCryptoImpl(), CryptoImpl::Simd);
+    else
+        EXPECT_EQ(activeCryptoImpl(), CryptoImpl::Portable);
+}
+
+TEST(CryptoCross, AesBlocksMatchPortable)
+{
+    if (!simdAvailable())
+        GTEST_SKIP() << "no SIMD tier on this machine/build";
+    std::mt19937_64 rng(0xae5);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::array<std::uint8_t, 16> key;
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng());
+        // 0..25 blocks exercises the empty, sub-8 tail, exact-8, and
+        // 8+tail paths of the pipelined loop; +1 offset into the heap
+        // buffer keeps every load/store unaligned.
+        for (std::size_t nblk : {0u, 1u, 3u, 7u, 8u, 9u, 16u, 25u}) {
+            std::vector<std::uint8_t> raw(16 * nblk + 1);
+            for (auto &b : raw)
+                b = static_cast<std::uint8_t>(rng());
+            std::vector<std::uint8_t> a(raw.begin() + 1, raw.end());
+            std::vector<std::uint8_t> b = a;
+            {
+                ScopedImpl scope(CryptoImpl::Portable);
+                Aes128(key).encryptBlocks(a.data(), nblk);
+            }
+            {
+                ScopedImpl scope(CryptoImpl::Simd);
+                Aes128(key).encryptBlocks(raw.data() + 1, nblk);
+            }
+            EXPECT_EQ(a, std::vector<std::uint8_t>(raw.begin() + 1,
+                                                   raw.end()))
+                << "nblk=" << nblk;
+            // Batch == repeated single-block, portable tier.
+            {
+                ScopedImpl scope(CryptoImpl::Portable);
+                const Aes128 aes(key);
+                for (std::size_t i = 0; i < nblk; ++i) {
+                    Block blk;
+                    std::memcpy(blk.data(), b.data() + 16 * i, 16);
+                    aes.encryptBlock(blk);
+                    std::memcpy(b.data() + 16 * i, blk.data(), 16);
+                }
+            }
+            EXPECT_EQ(a, b) << "nblk=" << nblk;
+        }
+    }
+}
+
+TEST(CryptoCross, GhashMatchesPortableAndBitSerialOracle)
+{
+    if (!simdAvailable())
+        GTEST_SKIP() << "no SIMD tier on this machine/build";
+    std::mt19937_64 rng(0x56a5);
+    for (int trial = 0; trial < 8; ++trial) {
+        Block h;
+        for (auto &b : h)
+            b = static_cast<std::uint8_t>(rng());
+        for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 48u, 63u, 64u,
+                                65u, 128u, 1000u, 4096u}) {
+            std::vector<std::uint8_t> raw(len + 1);
+            for (auto &b : raw)
+                b = static_cast<std::uint8_t>(rng());
+            const std::uint8_t *data = raw.data() + 1;
+            Block dp, ds;
+            {
+                ScopedImpl scope(CryptoImpl::Portable);
+                Ghash gh{GhashKey(h)};
+                gh.updateBytes(data, len);
+                dp = gh.digest();
+            }
+            {
+                ScopedImpl scope(CryptoImpl::Simd);
+                Ghash gh{GhashKey(h)};
+                gh.updateBytes(data, len);
+                ds = gh.digest();
+            }
+            EXPECT_EQ(dp, ds) << "len=" << len;
+            // Bit-serial gfmul oracle (SP 800-38D algorithm 1).
+            const U128 hw = blockToU128(h);
+            U128 y{};
+            for (std::size_t off = 0; off < len; off += 16) {
+                Block blk{};
+                std::memcpy(blk.data(), data + off,
+                            std::min<std::size_t>(16, len - off));
+                const U128 x = blockToU128(blk);
+                y.hi ^= x.hi;
+                y.lo ^= x.lo;
+                y = gfmul(y, hw);
+            }
+            EXPECT_EQ(u128ToBlock(y), ds) << "len=" << len;
+        }
+    }
+}
+
+TEST(CryptoCross, KeystreamAndTagMatchPortable)
+{
+    if (!simdAvailable())
+        GTEST_SKIP() << "no SIMD tier on this machine/build";
+    std::mt19937_64 rng(0x9c3);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::array<std::uint8_t, 16> key;
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng());
+        Iv96 iv;
+        for (auto &b : iv)
+            b = static_cast<std::uint8_t>(rng());
+        for (std::size_t len : {0u, 1u, 16u, 31u, 64u, 80u, 127u,
+                                128u, 129u, 555u, 4096u}) {
+            std::vector<std::uint8_t> aad(len / 3 + 1);
+            for (auto &b : aad)
+                b = static_cast<std::uint8_t>(rng());
+            std::vector<std::uint8_t> pt(len + 1);
+            for (auto &b : pt)
+                b = static_cast<std::uint8_t>(rng());
+            std::vector<std::uint8_t> ks_p(len), ks_s(len);
+            Block tag_p, tag_s;
+            {
+                ScopedImpl scope(CryptoImpl::Portable);
+                const AesGcm gcm(key);
+                gcm.keystreamTo(iv, ks_p.data(), len);
+                tag_p = gcm.computeTag(iv, aad.data(), aad.size(),
+                                       pt.data() + 1, len);
+            }
+            {
+                ScopedImpl scope(CryptoImpl::Simd);
+                const AesGcm gcm(key);
+                gcm.keystreamTo(iv, ks_s.data(), len);
+                tag_s = gcm.computeTag(iv, aad.data(), aad.size(),
+                                       pt.data() + 1, len);
+            }
+            EXPECT_EQ(ks_p, ks_s) << "len=" << len;
+            EXPECT_EQ(tag_p, tag_s) << "len=" << len;
+        }
+    }
+}
+
+TEST(CryptoCross, SealedUnderOneTierOpensUnderTheOther)
+{
+    if (!simdAvailable())
+        GTEST_SKIP() << "no SIMD tier on this machine/build";
+    const auto key = unhexArr<16>("000102030405060708090a0b0c0d0e0f");
+    Iv96 iv{};
+    iv[0] = 0x42;
+    std::vector<std::uint8_t> pt(777);
+    for (std::size_t i = 0; i < pt.size(); ++i)
+        pt[i] = static_cast<std::uint8_t>(i * 131 + 9);
+    GcmSealed sealed;
+    {
+        ScopedImpl scope(CryptoImpl::Simd);
+        sealed = AesGcm(key).seal(iv, pt);
+    }
+    std::vector<std::uint8_t> out;
+    {
+        ScopedImpl scope(CryptoImpl::Portable);
+        ASSERT_TRUE(AesGcm(key).open(iv, sealed.ciphertext,
+                                     sealed.tag, out));
+    }
+    EXPECT_EQ(out, pt);
+}

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/dispatch.hh"
 #include "crypto/gcm.hh"
 #include "crypto/ghash.hh"
 #include "workload/source.hh"
@@ -440,4 +441,43 @@ TEST(GcmNonceReuse, TagIsBoundToItsIv)
     std::vector<std::uint8_t> pt;
     ASSERT_TRUE(gcm.open(iv_a, sealed.ciphertext, sealed.tag, pt));
     EXPECT_FALSE(gcm.open(iv_b, sealed.ciphertext, sealed.tag, pt));
+}
+
+// --------------------------------------------------------------------
+// Every cross-validated vector, repeated under each dispatch tier.
+// --------------------------------------------------------------------
+
+TEST(GcmImplMatrix, VectorsPassUnderEveryTier)
+{
+    const crypto::CryptoImpl prior = crypto::requestedCryptoImpl();
+    for (crypto::CryptoImpl impl : {crypto::CryptoImpl::Portable,
+                                    crypto::CryptoImpl::Simd}) {
+        if (impl == crypto::CryptoImpl::Simd &&
+            !crypto::simdAvailable())
+            continue; // degrades to portable; already covered
+        crypto::setCryptoImpl(impl);
+        for (const Vector &v : kVectors) {
+            std::array<std::uint8_t, 16> key{};
+            const auto kb = unhex(v.key);
+            std::copy(kb.begin(), kb.end(), key.begin());
+            Iv96 iv{};
+            const auto ib = unhex(v.iv);
+            std::copy(ib.begin(), ib.end(), iv.begin());
+
+            AesGcm gcm(key);
+            const auto sealed = gcm.seal(iv, unhex(v.pt),
+                                         unhex(v.aad));
+            EXPECT_EQ(sealed.ciphertext, unhex(v.ct))
+                << crypto::cryptoImplName(impl);
+            const auto tag = unhex(v.tag);
+            EXPECT_TRUE(std::equal(tag.begin(), tag.end(),
+                                   sealed.tag.begin()))
+                << crypto::cryptoImplName(impl);
+            std::vector<std::uint8_t> pt;
+            EXPECT_TRUE(gcm.open(iv, unhex(v.ct), sealed.tag, pt,
+                                 unhex(v.aad)));
+            EXPECT_EQ(pt, unhex(v.pt));
+        }
+    }
+    crypto::setCryptoImpl(prior);
 }
