@@ -28,6 +28,7 @@
 #include <iostream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -39,6 +40,7 @@
 #include "crypto/otp.hh"
 #include "net/packet_pool.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "workload/profile.hh"
 
 namespace
@@ -476,6 +478,102 @@ benchEndToEnd(double scale, bool quick)
 }
 
 // --------------------------------------------------------------------
+// Sharded kernel: one wide (16-GPU) simulation at 1/2/4 sim threads.
+// Reports events/s and speedup over serial, and hard-fails if the
+// parallel kernel breaks either hot-path guarantee: op counts must be
+// thread-count invariant, and warmed worker pools must run the whole
+// simulation without one fresh allocation.
+// --------------------------------------------------------------------
+
+struct SimThreadsPoint
+{
+    std::uint32_t threads = 0;
+    double wallSec = 0.0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0.0;
+    double speedup = 0.0; ///< events/s over the serial run
+    std::uint64_t pdesWindows = 0;
+    std::uint64_t domainCrossings = 0;
+    std::uint64_t windowStalls = 0;
+    std::uint64_t poolFreshPackets = 0;
+    std::uint64_t poolFreshPayloads = 0;
+};
+
+struct SimThreadsResult
+{
+    std::vector<SimThreadsPoint> points;
+    unsigned hwThreads = 0;
+};
+
+SimThreadsResult
+benchSimThreads(double scale, bool quick)
+{
+    // The case PDES exists for: a single wide simulation, where
+    // --jobs cannot help. 16 GPUs = 17 domains; the problem size
+    // deliberately does NOT shrink with the GPU count here.
+    ExperimentConfig cfg;
+    cfg.numGpus = 16;
+    cfg.scheme = OtpScheme::Dynamic;
+    cfg.batching = true;
+    cfg.strongScaling = false;
+    cfg.scale = quick ? scale * 0.5 : scale;
+
+    SimThreadsResult r;
+    r.hwThreads = std::thread::hardware_concurrency();
+    RunResult serial{};
+    for (const std::uint32_t t : {1u, 2u, 4u}) {
+        cfg.simThreads = t;
+        const WorkloadProfile profile =
+            makeProfile("mm", cfg.scale, cfg.numGpus);
+        MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+        const auto t0 = Clock::now();
+        const RunResult run = sys.run();
+
+        SimThreadsPoint p;
+        p.threads = t;
+        p.wallSec = secondsSince(t0);
+        p.events = sys.executedEvents();
+        p.eventsPerSec = static_cast<double>(p.events) / p.wallSec;
+        p.pdesWindows = run.pdesWindows;
+        p.domainCrossings = run.domainCrossings;
+        p.windowStalls = run.windowStalls;
+        p.poolFreshPackets = run.poolFreshPackets;
+        p.poolFreshPayloads = run.poolFreshPayloads;
+
+        if (t == 1) {
+            serial = run;
+        } else {
+            // Thread-count invariance of everything timing-free.
+            if (run.remoteOps != serial.remoteOps ||
+                run.localOps != serial.localOps ||
+                run.migrations != serial.migrations ||
+                run.completed != serial.completed) {
+                std::cerr << "FATAL: sharded run (" << t
+                          << " threads) changed operation counts\n";
+                std::exit(1);
+            }
+            // Satellite guarantee: per-domain queues and preloaded
+            // worker pools keep the hot path allocation-free.
+            if (run.poolFreshPackets != 0 ||
+                run.poolFreshPayloads != 0) {
+                std::cerr << "FATAL: sharded run (" << t
+                          << " threads) hit the allocator "
+                          << run.poolFreshPackets << "+"
+                          << run.poolFreshPayloads
+                          << " times after preload\n";
+                std::exit(1);
+            }
+        }
+        if (!r.points.empty())
+            p.speedup = p.eventsPerSec / r.points[0].eventsPerSec;
+        else
+            p.speedup = 1.0;
+        r.points.push_back(p);
+    }
+    return r;
+}
+
+// --------------------------------------------------------------------
 // Observability: end-to-end with trace + metrics on vs. off, plus a
 // proof that compiled-in-but-disabled hooks stay allocation-free.
 // --------------------------------------------------------------------
@@ -552,7 +650,7 @@ void
 writeJson(const std::string &path, const GhashResult &gh,
           const CryptoTiersResult &ct, const EventQueueResult &eq,
           const PacketPoolResult &pp, const EndToEndResult &e2e,
-          const ObserveResult &obs)
+          const SimThreadsResult &st, const ObserveResult &obs)
 {
     std::ofstream os(path);
     if (!os) {
@@ -613,6 +711,24 @@ writeJson(const std::string &path, const GhashResult &gh,
     w.field("cyclesPerSec", e2e.cyclesPerSec);
     w.field("eventsPerSec", e2e.eventsPerSec);
     w.field("packetsPerSec", e2e.packetsPerSec);
+    w.endObject();
+
+    w.key("simThreads").beginObject();
+    w.field("hwThreads", static_cast<std::uint64_t>(st.hwThreads));
+    for (const SimThreadsPoint &p : st.points) {
+        w.key(strformat("t%u", p.threads)).beginObject();
+        w.field("threads", static_cast<std::uint64_t>(p.threads));
+        w.field("wallSec", p.wallSec);
+        w.field("events", p.events);
+        w.field("eventsPerSec", p.eventsPerSec);
+        w.field("speedup", p.speedup);
+        w.field("pdesWindows", p.pdesWindows);
+        w.field("domainCrossings", p.domainCrossings);
+        w.field("windowStalls", p.windowStalls);
+        w.field("poolFreshPackets", p.poolFreshPackets);
+        w.field("poolFreshPayloads", p.poolFreshPayloads);
+        w.endObject();
+    }
     w.endObject();
 
     w.key("observe").beginObject();
@@ -698,6 +814,23 @@ main(int argc, char **argv)
                 e2e.cyclesPerSec / 1e6, e2e.eventsPerSec / 1e6,
                 e2e.packetsPerSec / 1e3);
 
+    const SimThreadsResult st = benchSimThreads(args.scale, args.quick);
+    for (const SimThreadsPoint &p : st.points) {
+        std::printf("sim threads %u: %6.2f s wall   %6.2f Mevents/s"
+                    "   speedup %.2fx   windows=%llu crossings=%llu "
+                    "stalls=%llu\n",
+                    p.threads, p.wallSec, p.eventsPerSec / 1e6,
+                    p.speedup,
+                    static_cast<unsigned long long>(p.pdesWindows),
+                    static_cast<unsigned long long>(p.domainCrossings),
+                    static_cast<unsigned long long>(p.windowStalls));
+    }
+    if (st.hwThreads < 4) {
+        std::printf("  note: only %u hardware threads — parallel "
+                    "speedups are not meaningful here\n",
+                    st.hwThreads);
+    }
+
     const ObserveResult obs = benchObserve(args.scale, args.quick);
     std::printf("observe     %.2f s off   %.2f s on   overhead "
                 "%+.1f%%   %llu trace events   %llu samples   "
@@ -714,7 +847,7 @@ main(int argc, char **argv)
     }
 
     if (!args.json.empty()) {
-        writeJson(args.json, gh, ct, eq, pp, e2e, obs);
+        writeJson(args.json, gh, ct, eq, pp, e2e, st, obs);
         std::cout << "\nwrote " << args.json << "\n";
     }
 

@@ -15,6 +15,7 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.seed = cfg.seed;
     sys.commSampleInterval = cfg.commSampleInterval;
     sys.expectedEvents = cfg.expectedEvents;
+    sys.simThreads = cfg.simThreads;
 
     sys.security.scheme = cfg.scheme;
     sys.security.batching = cfg.batching;

@@ -67,6 +67,17 @@ struct ExperimentConfig
     crypto::CryptoImpl cryptoImpl = crypto::CryptoImpl::Auto;
 
     /**
+     * Worker threads for the domain-sharded event kernel
+     * (SystemConfig::simThreads): 0 = auto (MGSEC_SIM_THREADS env,
+     * else serial), 1 = the exact legacy serial path, >= 2 =
+     * conservative-PDES sharding. A host-side speed knob like
+     * cryptoImpl — op counts are thread-count invariant and timing
+     * aggregates agree to well under a percent — so it is NOT part
+     * of configKey.
+     */
+    std::uint32_t simThreads = 0;
+
+    /**
      * Observability sinks for this run (file paths; all empty =
      * disabled). Never part of a config's identity hash.
      */

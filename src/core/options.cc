@@ -181,6 +181,9 @@ RunOptions::set(const std::string &key, const std::string &value)
         exp.observe.histJsonOut = value;
     } else if (key == "crypto-impl") {
         ok = crypto::parseCryptoImpl(value, exp.cryptoImpl);
+    } else if (key == "sim-threads") {
+        if ((ok = parseNumber(value, 1ULL, 256ULL, u)))
+            exp.simThreads = static_cast<std::uint32_t>(u);
     } else if (key == "debug-pad-stall-pct") {
         // Deliberately absent from usage(): a CI-only fault injector
         // for the mgsec_report regression-gate self-check.
@@ -302,6 +305,8 @@ RunOptions::usage(std::ostream &os)
           "JSON (implies --attr on)\n"
           "  --crypto-impl I        host crypto tier: auto|portable|"
           "simd (bit-identical results)\n"
+          "  --sim-threads N        event-kernel worker threads "
+          "(1 = serial; default MGSEC_SIM_THREADS or 1)\n"
           "  --debug FLAGS          enable trace flags "
           "('help' lists them)\n"
           "  --config FILE          read 'key = value' lines first\n";

@@ -45,6 +45,8 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
            << "OBSERVE_INDEX.json into DIR\n";
     os << "  --crypto-impl I  host crypto tier auto|portable|simd "
        << "(bit-identical results)\n"
+       << "  --sim-threads N  event-kernel worker threads per run "
+       << "(1 = serial; default MGSEC_SIM_THREADS or 1)\n"
        << "  --debug FLAGS  enable trace flags ('help' lists "
        << "them)\n";
 }
@@ -98,6 +100,11 @@ SweepArgs::parseArgs(int argc, char **argv)
         } else if (std::strcmp(arg, "--crypto-impl") == 0) {
             if (!crypto::parseCryptoImpl(value(i), cryptoImpl))
                 die("bad --crypto-impl value '%s'", argv[i]);
+        } else if (std::strcmp(arg, "--sim-threads") == 0) {
+            unsigned long long v = 0;
+            if (!parseNumber(value(i), 1ULL, 256ULL, v))
+                die("bad --sim-threads value '%s'", argv[i]);
+            simThreads = static_cast<std::uint32_t>(v);
         } else if (std::strcmp(arg, "--debug") == 0) {
             const char *flags = value(i);
             if (std::strcmp(flags, "help") == 0) {
@@ -151,6 +158,7 @@ Sweep::Sweep(const SweepArgs &args)
     : Sweep(args.scale, args.seeds, args.jobs)
 {
     crypto_impl_ = args.cryptoImpl;
+    sim_threads_ = args.simThreads;
     if (!args.observeDir.empty())
         setObservability(args.observeDir);
 }
@@ -185,6 +193,7 @@ Sweep::addNormalized(const std::string &workload,
     MGSEC_ASSERT(!ran_, "Sweep::add after run()");
     cfg.scale = scale_;
     cfg.cryptoImpl = crypto_impl_;
+    cfg.simThreads = sim_threads_;
     norm_.push_back(NormRequest{workload, cfg, NormResult{}});
     return norm_.size() - 1;
 }
@@ -195,6 +204,7 @@ Sweep::addRaw(const std::string &workload, ExperimentConfig cfg)
     MGSEC_ASSERT(!ran_, "Sweep::add after run()");
     cfg.scale = scale_;
     cfg.cryptoImpl = crypto_impl_;
+    cfg.simThreads = sim_threads_;
     raw_.push_back(RawRequest{workload, cfg, RunResult{}});
     return raw_.size() - 1;
 }

@@ -50,6 +50,15 @@ struct SweepArgs
      */
     crypto::CryptoImpl cryptoImpl = crypto::CryptoImpl::Auto;
 
+    /**
+     * Event-kernel worker threads per queued run (--sim-threads).
+     * 0 = auto (MGSEC_SIM_THREADS, else serial). Speeds up a single
+     * large simulation, where --jobs only helps across independent
+     * runs; op counts are thread-count invariant (see
+     * ExperimentConfig::simThreads).
+     */
+    std::uint32_t simThreads = 0;
+
     bool acceptGpus = false;
     bool acceptJson = false;
     bool acceptObserve = false;
@@ -147,6 +156,7 @@ class Sweep
     int seeds_;
     unsigned jobs_;
     crypto::CryptoImpl crypto_impl_ = crypto::CryptoImpl::Auto;
+    std::uint32_t sim_threads_ = 0;
     unsigned resolved_jobs_ = 0;
     bool ran_ = false;
 

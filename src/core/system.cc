@@ -1,14 +1,47 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 
+#include "net/packet_pool.hh"
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_kernel.hh"
 
 namespace mgsec
 {
+
+namespace
+{
+
+/**
+ * 0 = auto: MGSEC_SIM_THREADS if set (mirroring the
+ * MGSEC_CRYPTO_IMPL override), else the serial kernel. Clamped to
+ * the domain count — extra threads would only idle at barriers.
+ */
+std::uint32_t
+resolveSimThreads(std::uint32_t cfg_threads, std::uint32_t num_domains)
+{
+    std::uint64_t t = cfg_threads;
+    if (t == 0) {
+        t = 1;
+        if (const char *env = std::getenv("MGSEC_SIM_THREADS")) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v >= 1 && v <= 256) {
+                t = v;
+            } else {
+                warn("ignoring invalid MGSEC_SIM_THREADS='%s'", env);
+            }
+        }
+    }
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(t, num_domains));
+}
+
+} // namespace
 
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
                                const WorkloadProfile &profile)
@@ -23,16 +56,42 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     // each node's outstanding-request window plus per-peer ACK/batch
     // timers and in-flight link deliveries; 2x covers lazily
     // cancelled leftovers still parked in the heap.
+    const std::uint64_t window =
+        std::max(cfg_.gpu.maxOutstanding, cfg_.cpu.maxOutstanding);
     std::uint64_t hint = cfg_.expectedEvents;
-    if (hint == 0) {
-        const std::uint64_t window =
-            std::max(cfg_.gpu.maxOutstanding, cfg_.cpu.maxOutstanding);
+    if (hint == 0)
         hint = static_cast<std::uint64_t>(n) * (window + 64) * 2;
-    }
     eq_.reserve(hint);
+
+    sim_threads_ = resolveSimThreads(cfg_.simThreads, n);
+    if (sharded()) {
+        // One event domain per GPU node plus the host/fabric domain
+        // (CPU + network + page table on the legacy queue). Wire
+        // hops are the only cross-domain edges, so the Network is
+        // the explicit cross-domain channel (capture mode below).
+        domains_.reserve(n);
+        domains_.push_back(std::make_unique<Domain>(0, eq_));
+        // A GPU domain hosts one node: its outstanding window plus
+        // per-peer timers and in-flight deliveries landing in its
+        // queue. 4x slack keeps the no-reallocation guarantee that
+        // the serial queue gets from the full-system hint.
+        const std::uint64_t per = (window + 64) * 4;
+        for (NodeId id = 1; id < n; ++id) {
+            auto d = std::make_unique<Domain>(id);
+            d->eq().reserve(per);
+            domains_.push_back(std::move(d));
+        }
+        burst16_by_src_.resize(n);
+        burst32_by_src_.resize(n);
+    }
+
     net_ = std::make_unique<Network>("net", eq_, n, cfg_.pcie,
                                      cfg_.nvlink);
     pt_ = std::make_unique<PageTable>("pt", eq_, cfg_.pageTable, n);
+    if (sharded()) {
+        net_->setParallelCapture(true);
+        pt_->setConcurrent(true);
+    }
 
     nodes_.resize(n);
     for (NodeId id = 0; id < n; ++id) {
@@ -40,8 +99,9 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
         const NodeParams &np = is_cpu ? cfg_.cpu : cfg_.gpu;
         const std::string nm =
             is_cpu ? std::string("cpu") : strformat("gpu%u", id);
+        EventQueue &neq = sharded() ? domains_[id]->eq() : eq_;
         nodes_[id] = std::make_unique<Node>(
-            nm, eq_, id, *net_, *pt_, cfg_.security, np);
+            nm, neq, id, *net_, *pt_, cfg_.security, np);
         if (!is_cpu) {
             nodes_[id]->attachWorkload(std::make_unique<TraceSource>(
                 profile_, id, n, cfg_.seed));
@@ -72,23 +132,29 @@ MultiGpuSystem::recordBlock(NodeId src, NodeId dst, Tick t)
         burst_state_[static_cast<std::size_t>(src) * cfg_.numNodes() +
                      dst];
     // Non-overlapping windows: time for 16 (and 32) consecutive data
-    // blocks on this pair to accumulate.
+    // blocks on this pair to accumulate. Sharded runs append to
+    // per-source vectors (only src's domain thread writes the
+    // (src, *) rows), concatenated in node order at harvest.
+    std::vector<Cycles> &b16 =
+        sharded() ? burst16_by_src_[src] : burst16_;
+    std::vector<Cycles> &b32 =
+        sharded() ? burst32_by_src_[src] : burst32_;
     bs.ticks.push_back(t);
     if (bs.ticks.size() >= 32) {
-        burst32_.push_back(bs.ticks.back() - bs.ticks.front());
+        b32.push_back(bs.ticks.back() - bs.ticks.front());
         // The first 16 of this window already closed a 16-window.
         bs.ticks.clear();
     } else if (bs.ticks.size() == 16) {
-        burst16_.push_back(bs.ticks.back() - bs.ticks.front());
+        b16.push_back(bs.ticks.back() - bs.ticks.front());
     }
 }
 
 void
-MultiGpuSystem::sampleComm()
+MultiGpuSystem::sampleComm(Tick tick, bool reschedule)
 {
     const Node &g1 = *nodes_[1];
     CommSample s;
-    s.tick = eq_.now();
+    s.tick = tick;
     s.sendsTo.resize(cfg_.numNodes(), 0);
     std::uint64_t sends = 0;
     for (NodeId d = 0; d < cfg_.numNodes(); ++d) {
@@ -104,9 +170,9 @@ MultiGpuSystem::sampleComm()
     prev_recvs_ = recvs_now;
     comm_series_.push_back(std::move(s));
 
-    if (done_gpus_ < cfg_.numGpus) {
+    if (reschedule && done_gpus_ < cfg_.numGpus) {
         eq_.scheduleIn(cfg_.commSampleInterval, [this]() {
-            sampleComm();
+            sampleComm(eq_.now(), true);
         });
     }
 }
@@ -199,11 +265,27 @@ MultiGpuSystem::enableMetrics(Cycles interval, std::size_t capacity)
     MetricSampler &ms = *sampler_;
 
     ms.addGauge("eq.pending", [this](Tick) {
-        return static_cast<double>(eq_.pending());
+        double p = static_cast<double>(eq_.pending());
+        // Sharded runs: the pending population spans every domain
+        // queue (domain 0 wraps eq_, already counted above).
+        for (std::size_t d = 1; d < domains_.size(); ++d)
+            p += static_cast<double>(domains_[d]->eq().pending());
+        return p;
     });
     ms.addGauge("net.inFlight", [this](Tick) {
         return static_cast<double>(net_->inFlight());
     });
+    if (sharded()) {
+        // Window-sync overhead pair: how much cross-domain traffic
+        // the barriers replay vs how often a domain sat idle inside
+        // a window other domains were executing.
+        ms.addGauge("pdes.domainCrossings", [this](Tick) {
+            return static_cast<double>(pdes_crossings_);
+        });
+        ms.addGauge("pdes.windowStalls", [this](Tick) {
+            return static_cast<double>(pdes_stalls_);
+        });
+    }
 
     for (auto &nptr : nodes_) {
         Node &n = *nptr;
@@ -329,6 +411,15 @@ MultiGpuSystem::enableAttribution()
     attr_ = std::make_unique<LatencyAttribution>(
         otpSchemeName(cfg_.security.scheme));
     eq_.setAttribution(attr_.get());
+    if (sharded()) {
+        // One shared collector across every domain, folding under an
+        // internal mutex: histogram accumulation commutes, so the
+        // values stay deterministic, and the conservation telescope
+        // remains a single global identity.
+        attr_->setConcurrent(true);
+        for (std::size_t d = 1; d < domains_.size(); ++d)
+            domains_[d]->eq().setAttribution(attr_.get());
+    }
 }
 
 void
@@ -362,7 +453,10 @@ MultiGpuSystem::flushObservability()
     observ_flushed_ = true;
     if (sampler_) {
         // Final snapshot so short runs and run tails are captured.
-        sampler_->sampleNow();
+        if (sharded() && parallel_end_ > 0)
+            sampler_->sampleAt(parallel_end_);
+        else
+            sampler_->sampleNow();
         if (!cfg_.observe.metricsOut.empty()) {
             std::ofstream f(cfg_.observe.metricsOut);
             if (!f) {
@@ -395,23 +489,134 @@ MultiGpuSystem::flushObservability()
     }
 }
 
+std::uint64_t
+MultiGpuSystem::executedEvents() const
+{
+    std::uint64_t total = eq_.executed();
+    for (std::size_t d = 1; d < domains_.size(); ++d)
+        total += domains_[d]->eq().executed();
+    return total;
+}
+
+void
+MultiGpuSystem::runParallel()
+{
+    // GPU domains buffer trace events privately; the coordinator
+    // splices the buffers into the master sink at every barrier, in
+    // domain order, so the merged file is run-to-run deterministic.
+    if (trace_) {
+        for (std::size_t d = 1; d < domains_.size(); ++d)
+            domains_[d]->enableTraceBuffer();
+    }
+    if (sampler_)
+        metrics_due_ = sampler_->interval();
+    if (cfg_.commSampleInterval > 0)
+        comm_due_ = cfg_.commSampleInterval;
+
+    const std::uint64_t window =
+        std::max(cfg_.gpu.maxOutstanding, cfg_.cpu.maxOutstanding);
+
+    ParallelKernelConfig kc;
+    kc.domains.reserve(domains_.size());
+    for (auto &d : domains_)
+        kc.domains.push_back(d.get());
+    kc.threads = sim_threads_;
+    // Conservative lookahead: no domain can affect another sooner
+    // than the fastest cross-domain wire.
+    kc.lookahead = std::min(cfg_.pcie.latency, cfg_.nvlink.latency);
+    kc.maxCycles = cfg_.maxCycles;
+    kc.done = [this]() { return done_gpus_ >= cfg_.numGpus; };
+    kc.exchange = [this]() {
+        return net_->replayCaptured(
+            [this](NodeId dst) -> EventQueue & {
+                return domains_[dst]->eq();
+            });
+    };
+
+    // Each worker provisions its thread-local packet pool up front
+    // (a worker cannot warm its free lists from packets released on
+    // other threads) and reports its fresh-allocation delta at exit.
+    const std::size_t preload = (window + 64) * 8;
+    std::vector<PacketPool::Stats> base(sim_threads_);
+    kc.workerStart = [&base, preload](unsigned w) {
+        PacketPool::preload(preload, preload);
+        base[w] = PacketPool::stats();
+    };
+    kc.workerEnd = [this, &base](unsigned w) {
+        const PacketPool::Stats s = PacketPool::stats();
+        std::lock_guard<std::mutex> g(pool_mu_);
+        pool_fresh_packets_ += s.freshPackets - base[w].freshPackets;
+        pool_fresh_payloads_ +=
+            s.freshPayloads - base[w].freshPayloads;
+    };
+
+    ParallelKernel *kptr = nullptr;
+    kc.atBarrier = [this, &kptr](Tick window_end) {
+        pdes_windows_ = kptr->windows();
+        pdes_crossings_ = kptr->domainCrossings();
+        pdes_stalls_ = kptr->windowStalls();
+        if (trace_) {
+            for (std::size_t d = 1; d < domains_.size(); ++d) {
+                std::uint64_t ne = 0;
+                const std::string buf = domains_[d]->takeTraceBuf(ne);
+                if (!buf.empty())
+                    trace_->appendRaw(buf, ne);
+            }
+        }
+        // Catch up the barrier-driven samplers on every due tick the
+        // closed window covered (idle-window skips can cover many).
+        if (sampler_) {
+            while (metrics_due_ <= window_end) {
+                sampler_->sampleAt(metrics_due_);
+                metrics_due_ += sampler_->interval();
+            }
+        }
+        if (cfg_.commSampleInterval > 0) {
+            while (comm_due_ <= window_end) {
+                sampleComm(comm_due_, false);
+                comm_due_ += cfg_.commSampleInterval;
+            }
+        }
+    };
+
+    ParallelKernel kernel(std::move(kc));
+    kptr = &kernel;
+    kernel.run(0);
+
+    pdes_windows_ = kernel.windows();
+    pdes_crossings_ = kernel.domainCrossings();
+    pdes_stalls_ = kernel.windowStalls();
+    parallel_end_ = 0;
+    for (auto &d : domains_)
+        parallel_end_ = std::max(parallel_end_, d->eq().now());
+}
+
 RunResult
 MultiGpuSystem::run()
 {
     openObservability();
     for (auto &n : nodes_)
         n->start();
-    if (cfg_.commSampleInterval > 0) {
+    if (cfg_.commSampleInterval > 0 && !sharded()) {
         eq_.scheduleIn(cfg_.commSampleInterval, [this]() {
-            sampleComm();
+            sampleComm(eq_.now(), true);
         });
     }
-    if (sampler_)
-        sampler_->start();
+    if (sampler_) {
+        if (sharded())
+            sampler_->startManual();
+        else
+            sampler_->start();
+    }
 
-    while (done_gpus_ < cfg_.numGpus && eq_.now() <= cfg_.maxCycles) {
-        if (!eq_.runOne())
-            break;
+    if (sharded()) {
+        runParallel();
+    } else {
+        while (done_gpus_ < cfg_.numGpus &&
+               eq_.now() <= cfg_.maxCycles) {
+            if (!eq_.runOne())
+                break;
+        }
     }
     flushObservability();
 
@@ -427,7 +632,8 @@ MultiGpuSystem::run()
     Tick finish = 0;
     for (NodeId id = 1; id < cfg_.numNodes(); ++id)
         finish = std::max(finish, nodes_[id]->finishTick());
-    r.cycles = r.completed ? finish : eq_.now();
+    r.cycles = r.completed ? finish
+                           : (sharded() ? parallel_end_ : eq_.now());
 
     r.totalBytes = net_->totalBytes();
     for (std::size_t c = 0; c < kNumTrafficClasses; ++c)
@@ -450,9 +656,24 @@ MultiGpuSystem::run()
     r.avgRemoteLatency =
         lat_n > 0 ? lat_sum / static_cast<double>(lat_n) : 0.0;
 
+    if (sharded()) {
+        for (auto &v : burst16_by_src_)
+            burst16_.insert(burst16_.end(), v.begin(), v.end());
+        for (auto &v : burst32_by_src_)
+            burst32_.insert(burst32_.end(), v.begin(), v.end());
+        burst16_by_src_.clear();
+        burst32_by_src_.clear();
+    }
     r.burst16 = std::move(burst16_);
     r.burst32 = std::move(burst32_);
     r.commSeries = std::move(comm_series_);
+
+    r.simThreads = sim_threads_;
+    r.pdesWindows = pdes_windows_;
+    r.domainCrossings = pdes_crossings_;
+    r.windowStalls = pdes_stalls_;
+    r.poolFreshPackets = pool_fresh_packets_;
+    r.poolFreshPayloads = pool_fresh_payloads_;
     return r;
 }
 

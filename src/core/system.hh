@@ -9,10 +9,12 @@
 #define MGSEC_CORE_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <deque>
 #include <fstream>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "mem/page_table.hh"
 #include "net/network.hh"
 #include "secure/security_config.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "sim/latency_attr.hh"
 #include "sim/metric_sampler.hh"
@@ -114,6 +117,17 @@ struct SystemConfig
     /** >0: sample GPU 1's communication mix every N cycles. */
     Cycles commSampleInterval = 0;
 
+    /**
+     * Worker threads for the domain-sharded kernel. 1 runs the exact
+     * legacy serial path (byte-identical artifacts); >= 2 shards the
+     * kernel into one event domain per GPU plus a host/fabric domain,
+     * synchronized conservatively at barrier windows of the minimum
+     * cross-domain link latency. 0 = auto: the MGSEC_SIM_THREADS
+     * environment variable if set, else 1. Thread counts beyond the
+     * domain count (numGpus + 1) are clamped.
+     */
+    std::uint32_t simThreads = 0;
+
     /** Observability sinks (all disabled by default). */
     ObserveConfig observe{};
 
@@ -153,6 +167,17 @@ struct RunResult
 
     /** GPU 1 communication mix over time (Fig. 13/14). */
     std::vector<CommSample> commSeries;
+
+    /** @name Sharded-kernel run accounting (1/0s on serial runs). */
+    /// @{
+    std::uint32_t simThreads = 1;
+    std::uint64_t pdesWindows = 0;
+    std::uint64_t domainCrossings = 0;
+    std::uint64_t windowStalls = 0;
+    /** Fresh packet-pool allocations summed over worker threads. */
+    std::uint64_t poolFreshPackets = 0;
+    std::uint64_t poolFreshPayloads = 0;
+    /// @}
 };
 
 class MultiGpuSystem
@@ -224,9 +249,18 @@ class MultiGpuSystem
     Node &node(NodeId id) { return *nodes_[id]; }
     std::uint32_t numNodes() const { return cfg_.numNodes(); }
 
+    /** Resolved worker-thread count (config / env, clamped). */
+    std::uint32_t simThreads() const { return sim_threads_; }
+    /** True when the run uses the domain-sharded kernel. */
+    bool sharded() const { return sim_threads_ > 1; }
+    /** Events executed across every domain queue. */
+    std::uint64_t executedEvents() const;
+
   private:
     void recordBlock(NodeId src, NodeId dst, Tick t);
-    void sampleComm();
+    void sampleComm(Tick tick, bool reschedule);
+    /** The sharded-kernel main loop (run() with simThreads >= 2). */
+    void runParallel();
     /** Open the file-backed sinks cfg_.observe asks for. */
     void openObservability();
     /** Flush and close them at the end of run(). */
@@ -235,6 +269,13 @@ class MultiGpuSystem
     SystemConfig cfg_;
     WorkloadProfile profile_;
     EventQueue eq_;
+    /**
+     * Event domains of a sharded run: [0] wraps eq_ (host/fabric),
+     * [1..numGpus] own one queue per GPU node. Empty on serial runs
+     * so the legacy path constructs nothing new.
+     */
+    std::vector<std::unique_ptr<Domain>> domains_;
+    std::uint32_t sim_threads_ = 1;
     std::unique_ptr<Network> net_;
     std::unique_ptr<PageTable> pt_;
     std::vector<std::unique_ptr<Node>> nodes_;
@@ -253,7 +294,8 @@ class MultiGpuSystem
     /** flushObservability() already ran (flush exactly once). */
     bool observ_flushed_ = false;
 
-    std::uint32_t done_gpus_ = 0;
+    /** Atomic: GPU done callbacks fire on domain threads. */
+    std::atomic<std::uint32_t> done_gpus_{0};
 
     /** Burst accumulation state per (src, dst). */
     struct BurstState
@@ -263,10 +305,35 @@ class MultiGpuSystem
     std::vector<BurstState> burst_state_;
     std::vector<Cycles> burst16_;
     std::vector<Cycles> burst32_;
+    /**
+     * Sharded runs append bursts per source node (the only writer of
+     * a (src, *) row is src's domain thread) and concatenate in node
+     * order at harvest — deterministic without a lock. Serial runs
+     * keep the legacy shared vectors, preserving their global
+     * interleave order byte-for-byte.
+     */
+    std::vector<std::vector<Cycles>> burst16_by_src_;
+    std::vector<std::vector<Cycles>> burst32_by_src_;
 
     std::vector<std::uint64_t> prev_sends_to_;
     std::uint64_t prev_recvs_ = 0;
     std::vector<CommSample> comm_series_;
+
+    /** @name Sharded-kernel run state */
+    /// @{
+    std::uint64_t pdes_windows_ = 0;
+    std::uint64_t pdes_crossings_ = 0;
+    std::uint64_t pdes_stalls_ = 0;
+    /** Next due ticks of the barrier-driven samplers. */
+    Tick metrics_due_ = 0;
+    Tick comm_due_ = 0;
+    /** max over domains of eq().now() when the kernel exited. */
+    Tick parallel_end_ = 0;
+    /** Worker packet-pool deltas, accumulated under pool_mu_. */
+    std::mutex pool_mu_;
+    std::uint64_t pool_fresh_packets_ = 0;
+    std::uint64_t pool_fresh_payloads_ = 0;
+    /// @}
 };
 
 } // namespace mgsec

@@ -34,12 +34,14 @@ PageTable::entryOf(std::uint64_t page, NodeId first_toucher)
 NodeId
 PageTable::home(std::uint64_t page, NodeId first_toucher)
 {
+    auto l = lockIfConcurrent();
     return entryOf(page, first_toucher).home;
 }
 
 NodeId
 PageTable::homeOf(std::uint64_t page) const
 {
+    auto l = lockIfConcurrent();
     auto it = pages_.find(page);
     MGSEC_ASSERT(it != pages_.end(), "page %llu unmapped",
                  static_cast<unsigned long long>(page));
@@ -49,6 +51,7 @@ PageTable::homeOf(std::uint64_t page) const
 bool
 PageTable::mapped(std::uint64_t page) const
 {
+    auto l = lockIfConcurrent();
     return pages_.find(page) != pages_.end();
 }
 
@@ -56,6 +59,7 @@ void
 PageTable::place(std::uint64_t page, NodeId node)
 {
     MGSEC_ASSERT(node < num_nodes_, "bad node %u", node);
+    auto l = lockIfConcurrent();
     Entry &e = entryOf(page, node);
     e.home = node;
     std::fill(e.remoteCounts.begin(), e.remoteCounts.end(), 0);
@@ -65,6 +69,7 @@ bool
 PageTable::recordRemoteAccess(std::uint64_t page, NodeId accessor)
 {
     MGSEC_ASSERT(accessor < num_nodes_, "bad accessor %u", accessor);
+    auto l = lockIfConcurrent();
     Entry &e = entryOf(page, accessor);
     MGSEC_ASSERT(e.home != accessor,
                  "remote access recorded by the home node");
@@ -81,6 +86,7 @@ PageTable::recordRemoteAccess(std::uint64_t page, NodeId accessor)
 void
 PageTable::finishMigration(std::uint64_t page, NodeId new_home)
 {
+    auto l = lockIfConcurrent();
     auto it = pages_.find(page);
     MGSEC_ASSERT(it != pages_.end(), "migrating unmapped page");
     it->second.home = new_home;

@@ -13,6 +13,7 @@
 #define MGSEC_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -71,6 +72,17 @@ class PageTable : public SimObject
         return static_cast<std::uint64_t>(migrations_.value());
     }
 
+    /**
+     * Guard the table with an internal mutex for sharded runs — the
+     * page table is pure state (no events), and it is the single
+     * object GPU node domains call into directly. Every value it
+     * returns is interleaving-independent: a page's first-touch home
+     * is address-deterministic (the workloads derive the toucher from
+     * the address), and access counters are per-(page, accessor),
+     * bumped only by that accessor's domain.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
+
   private:
     struct Entry
     {
@@ -80,8 +92,17 @@ class PageTable : public SimObject
 
     Entry &entryOf(std::uint64_t page, NodeId first_toucher);
 
+    std::unique_lock<std::mutex>
+    lockIfConcurrent() const
+    {
+        return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                           : std::unique_lock<std::mutex>();
+    }
+
     PageTableParams params_;
     std::uint32_t num_nodes_;
+    bool concurrent_ = false;
+    mutable std::mutex mu_;
     std::unordered_map<std::uint64_t, Entry> pages_;
 
     stats::Scalar migrations_{"migrations", "pages migrated"};

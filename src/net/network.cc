@@ -1,5 +1,8 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
+#include "sim/domain.hh"
 #include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 #include "sim/trace_sink.hh"
@@ -33,14 +36,14 @@ Network::setHandler(NodeId node, Handler h)
 }
 
 void
-Network::deliver(Tick when, PacketPtr pkt)
+Network::deliver(Tick when, PacketPtr pkt, EventQueue &eq)
 {
     // Moving the owning pointer into the callback (InplaceCallback
     // takes move-only captures) means a run that stops with events
     // still queued returns its in-flight packets to the pool instead
     // of leaking them.
     ++in_flight_;
-    eventq().schedule(when, [this, p = std::move(pkt)]() mutable {
+    eq.schedule(when, [this, p = std::move(pkt)]() mutable {
         --in_flight_;
         MGSEC_ASSERT(handlers_[p->dst] != nullptr,
                      "no handler for node %u", p->dst);
@@ -49,12 +52,80 @@ Network::deliver(Tick when, PacketPtr pkt)
 }
 
 void
+Network::setParallelCapture(bool on)
+{
+    capture_ = on;
+    if (on) {
+        // One lane per possible writer domain plus the overflow lane
+        // for sends outside any Domain scope (domain counts never
+        // exceed the node count in either the system or the verify
+        // testbed).
+        lanes_.resize(static_cast<std::size_t>(num_nodes_) + 1);
+    } else {
+        for (const auto &lane : lanes_)
+            MGSEC_ASSERT(lane.empty(), "disabling capture with "
+                                       "unreplayed packets");
+        lanes_.clear();
+        lanes_.shrink_to_fit();
+    }
+}
+
+std::uint64_t
+Network::replayCaptured(
+    const std::function<EventQueue &(NodeId)> &queue_of)
+{
+    // Concatenate the writer lanes in lane order, then stable sort
+    // by (send tick, src, dst): the replay order is (sendTick, src,
+    // dst, lane, push order) — a pure function of simulation state,
+    // identical for every thread count and run. In the system proper
+    // each (src, dst) pair has exactly one writer lane, so this is
+    // exactly (sendTick, src, dst, push order).
+    std::vector<CapturedSend> window;
+    for (auto &lane : lanes_) {
+        for (CapturedSend &c : lane)
+            window.push_back(std::move(c));
+        lane.clear();
+    }
+    std::stable_sort(window.begin(), window.end(),
+                     [](const CapturedSend &a, const CapturedSend &b) {
+                         if (a.sendTick != b.sendTick)
+                             return a.sendTick < b.sendTick;
+                         if (a.pkt->src != b.pkt->src)
+                             return a.pkt->src < b.pkt->src;
+                         return a.pkt->dst < b.pkt->dst;
+                     });
+    const std::uint64_t n = window.size();
+    for (CapturedSend &c : window) {
+        EventQueue &dst_eq = queue_of(c.pkt->dst);
+        sendOnWire(std::move(c.pkt), c.sendTick, dst_eq);
+    }
+    return n;
+}
+
+void
 Network::send(PacketPtr pkt)
 {
     MGSEC_ASSERT(pkt->src < num_nodes_ && pkt->dst < num_nodes_ &&
                      pkt->src != pkt->dst,
                  "bad route %u -> %u", pkt->src, pkt->dst);
+    if (capture_) {
+        // Record against the *sender's* clock: under the sharded
+        // kernel the caller executes on its domain's queue, not on
+        // the network's home queue.
+        Domain *dom = Domain::current();
+        const Tick send_tick = dom ? dom->eq().now() : now();
+        const std::size_t lane = dom ? dom->id() : num_nodes_;
+        MGSEC_ASSERT(lane < lanes_.size(), "capture lane %zu out of "
+                     "range", lane);
+        lanes_[lane].push_back(CapturedSend{std::move(pkt), send_tick});
+        return;
+    }
+    sendOnWire(std::move(pkt), now(), eventq());
+}
 
+void
+Network::sendOnWire(PacketPtr pkt, Tick send_tick, EventQueue &dst_eq)
+{
     // Pre-wire tamper point: the packet has not touched the wire
     // yet, so mutations here change accounting and serialization,
     // and a Drop leaves no trace on the interconnect.
@@ -88,22 +159,23 @@ Network::send(PacketPtr pkt)
         const NodeId gpu = pkt->src == 0 ? pkt->dst : pkt->src;
         Serializer &ser =
             pkt->src == 0 ? pcie_down_[gpu] : pcie_up_[gpu];
-        arrive = ser.reserve(now(), bytes) + pcie_.latency;
+        arrive = ser.reserve(send_tick, bytes) + pcie_.latency;
     } else {
         // Shared NVLink ports: sender egress, then receiver ingress.
-        const Tick sent = nv_egress_[pkt->src].reserve(now(), bytes);
+        const Tick sent =
+            nv_egress_[pkt->src].reserve(send_tick, bytes);
         arrive = nv_ingress_[pkt->dst].reserve(
             sent + nvlink_.latency, bytes);
     }
     if (TraceSink *ts = eventq().traceSink()) {
         ts->complete(pkt->src, "net", packetTypeName(pkt->type),
-                     now(), arrive - now(), "bytes", bytes);
+                     send_tick, arrive - send_tick, "bytes", bytes);
     }
     if (eventq().attribution()) {
         // The network owns the wire boundaries of the lifecycle
         // clock; the receiving channel folds the stamps on delivery
         // (SecAck/BatchMac stamps are written but never folded).
-        lifeStamp(pkt->life, LifeStamp::WireEntry) = now();
+        lifeStamp(pkt->life, LifeStamp::WireEntry) = send_tick;
         lifeStamp(pkt->life, LifeStamp::Delivered) = arrive;
     }
 
@@ -117,7 +189,7 @@ Network::send(PacketPtr pkt)
             return;
         }
     }
-    deliver(arrive, std::move(pkt));
+    deliver(arrive, std::move(pkt), dst_eq);
 }
 
 Bytes

@@ -18,6 +18,7 @@
 #define MGSEC_NET_NETWORK_HH
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -60,6 +61,43 @@ class Network : public SimObject
 
     /** Route a packet from pkt->src to pkt->dst. */
     void send(PacketPtr pkt);
+
+    /**
+     * @name Sharded-kernel capture mode
+     *
+     * Under the domain-sharded kernel every send() crosses domains
+     * (nodes live in different domains, and wire hops are the only
+     * cross-domain edges), so the network is the explicit
+     * cross-domain message channel. With capture on, send() only
+     * records {packet, sender-local tick} into the *calling
+     * domain's* capture lane — one writer per lane regardless of the
+     * src the packet carries, so even an attacker model injecting
+     * foreign-src traffic from its own domain stays race-free — and
+     * the whole wire crossing (tamper points, byte accounting, port
+     * serialization, trace/lifecycle stamps, delivery) happens later
+     * in replayCaptured() on the quiesced coordinator thread, in an
+     * order fixed by (send tick, src, dst, lane, push order) and
+     * thus independent of thread count.
+     *
+     * A window's deliveries always land in a later window: with
+     * lookahead L = min link latency and sends at tick >= window
+     * start T, arrival >= T + L, past the window end T + L - 1.
+     */
+    /// @{
+    void setParallelCapture(bool on);
+    bool parallelCapture() const { return capture_; }
+
+    /**
+     * Replay every captured send through the wire, delivering into
+     * the destination's own queue (@p queue_of maps node -> domain
+     * queue). Single-threaded: call only at a barrier, with all
+     * domain threads quiesced. @return packets replayed (the
+     * window's domain-crossing count; tamper-dropped packets count
+     * as crossings attempted).
+     */
+    std::uint64_t
+    replayCaptured(const std::function<EventQueue &(NodeId)> &queue_of);
+    /// @}
 
     /**
      * @name In-flight meddling — the physical attacker of the
@@ -133,7 +171,7 @@ class Network : public SimObject
     /** Bytes sent on the (src -> dst) flow. */
     Bytes pairBytes(NodeId src, NodeId dst) const;
     /** Packets currently between send() and delivery. */
-    std::uint64_t inFlight() const { return in_flight_; }
+    std::uint64_t inFlight() const { return in_flight_.load(); }
     /// @}
 
     /** @name Port utilization (for bandwidth analyses) */
@@ -145,7 +183,16 @@ class Network : public SimObject
     /// @}
 
   private:
-    void deliver(Tick when, PacketPtr pkt);
+    void deliver(Tick when, PacketPtr pkt, EventQueue &eq);
+    /** The full wire crossing, parameterized so capture replay can
+     *  run it with the sender's tick and the receiver's queue. */
+    void sendOnWire(PacketPtr pkt, Tick send_tick, EventQueue &dst_eq);
+
+    struct CapturedSend
+    {
+        PacketPtr pkt;
+        Tick sendTick;
+    };
 
     std::uint32_t num_nodes_;
     LinkParams pcie_;
@@ -162,7 +209,18 @@ class Network : public SimObject
     std::vector<Serializer> pcie_up_;
 
     std::vector<double> pair_bytes_;
-    std::uint64_t in_flight_ = 0;
+    /** Atomic: delivery callbacks decrement on domain threads. */
+    std::atomic<std::uint64_t> in_flight_{0};
+
+    bool capture_ = false;
+    /** Per-writer capture lanes, indexed by the sending domain's id
+     *  (last lane = sends outside any Domain scope, e.g. drains run
+     *  between kernel windows on the main thread). Single-writer
+     *  each; the kernel barrier orders writes before the coordinator
+     *  reads. Keyed by writer rather than (src, dst) because the
+     *  verify testbed's adversary injects foreign-src packets from
+     *  its own domain. */
+    std::vector<std::vector<CapturedSend>> lanes_;
 
     stats::Scalar packets_{"packets", "packets sent"};
     std::array<stats::Scalar, kNumTrafficClasses> class_bytes_{

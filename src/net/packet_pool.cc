@@ -125,6 +125,20 @@ PacketPool::resetStats()
 }
 
 void
+PacketPool::preload(std::size_t packets, std::size_t payloads)
+{
+    Tls &t = tls();
+    if (!t.enabled)
+        return;
+    t.packets.reserve(packets);
+    while (t.packets.size() < packets)
+        t.packets.push_back(new Packet);
+    t.payloads.reserve(payloads);
+    while (t.payloads.size() < payloads)
+        t.payloads.push_back(new FunctionalPayload);
+}
+
+void
 PacketPool::trim()
 {
     Tls &t = tls();

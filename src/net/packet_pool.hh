@@ -63,6 +63,19 @@ class PacketPool
     static Stats stats();
     static void resetStats();
 
+    /**
+     * Provision the calling thread's free lists up to the given
+     * object counts. Provisioning is not allocator *traffic* — the
+     * hot-path guarantee is zero fresh allocations in steady state,
+     * and a preloaded list is exactly a warmed-up one — so these
+     * allocations are not counted as fresh. The sharded kernel
+     * preloads each worker thread before the run: unlike a serial
+     * run, a worker cannot warm its lists from packets other threads
+     * released (migration trains drift packets from the home node's
+     * thread to the requester's).
+     */
+    static void preload(std::size_t packets, std::size_t payloads);
+
     /** Free every cached object (counters are preserved). */
     static void trim();
 

@@ -85,6 +85,17 @@ EventQueue::runOne()
     return false;
 }
 
+Tick
+EventQueue::nextPendingTick()
+{
+    while (!heap_.empty()) {
+        if (pending_ids_.contains(heap_.front().seq))
+            return heap_.front().when;
+        popTop(); // lazily-cancelled leftover
+    }
+    return MaxTick;
+}
+
 std::uint64_t
 EventQueue::run(Tick until, std::uint64_t max_events)
 {

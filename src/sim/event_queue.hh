@@ -122,6 +122,23 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
     /**
+     * Tick of the earliest live event, or MaxTick when the queue is
+     * drained. Pops lazily-cancelled leftovers off the heap top on
+     * the way (never a live event), so the amortized cost matches
+     * runOne()'s. The parallel kernel uses this to skip idle barrier
+     * windows.
+     */
+    Tick nextPendingTick();
+
+    /**
+     * Domain this queue belongs to when the kernel is sharded
+     * (sim/domain.hh); 0 — the host domain — otherwise, so serial
+     * runs need no special case.
+     */
+    DomainId domainId() const { return domain_id_; }
+    void setDomainId(DomainId d) { domain_id_ = d; }
+
+    /**
      * Timeline sink shared by every component on this queue, or
      * nullptr when tracing is off. Living on the queue keeps the
      * sink per-system (parallel sweep jobs never share one) and
@@ -177,6 +194,7 @@ class EventQueue
      */
     FlatSeqSet pending_ids_;
     Tick now_ = 0;
+    DomainId domain_id_ = 0;
     std::uint64_t next_seq_ = 1;
     std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;

@@ -77,6 +77,9 @@ void
 LatencyAttribution::fold(LinkType link, const LifeStamps &st,
                          TraceSink *trace, NodeId tid)
 {
+    // The trace sink is the caller's per-domain buffer, so only the
+    // histogram accumulation below needs the concurrent guard.
+    auto l = lockIfConcurrent();
     for (std::size_t s = 0; s < kNumLifeStages; ++s) {
         MGSEC_ASSERT(st[s + 1] >= st[s],
                      "lifecycle stamps out of order: %s %llu -> %llu",

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,10 +67,37 @@ class LatencyAttribution
 
     /** @name Auxiliary (non-conservation) latencies. */
     /// @{
-    void recordBatchClose(Tick dur) { batch_close_.record(dur); }
-    void recordAckReturn(Tick dur) { ack_return_.record(dur); }
-    void recordMetaWalk(Tick dur) { meta_walk_.record(dur); }
+    void
+    recordBatchClose(Tick dur)
+    {
+        auto l = lockIfConcurrent();
+        batch_close_.record(dur);
+    }
+    void
+    recordAckReturn(Tick dur)
+    {
+        auto l = lockIfConcurrent();
+        ack_return_.record(dur);
+    }
+    void
+    recordMetaWalk(Tick dur)
+    {
+        auto l = lockIfConcurrent();
+        meta_walk_.record(dur);
+    }
     /// @}
+
+    /**
+     * Guard record/fold with an internal mutex for sharded runs,
+     * where every domain thread folds into this one collector.
+     * Histogram accumulation is commutative (bucket counts and
+     * sums), so the fold order across domains cannot change any
+     * recorded value — sharing one collector keeps the conservation
+     * telescope a single global identity with no per-window merges.
+     * Readers (gauges, dumps) only run at barriers or after the run,
+     * when no folds are in flight.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
 
     const stats::Histogram &stage(LinkType l, std::size_t s) const;
     const stats::Histogram &e2e(LinkType l) const;
@@ -93,6 +121,15 @@ class LatencyAttribution
   private:
     stats::Histogram &stageMut(LinkType l, std::size_t s);
 
+    std::unique_lock<std::mutex>
+    lockIfConcurrent()
+    {
+        return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                           : std::unique_lock<std::mutex>();
+    }
+
+    bool concurrent_ = false;
+    std::mutex mu_;
     std::string scheme_;
     /** [link][stage] conservation histograms, then per-link e2e. */
     std::vector<stats::Histogram> stages_;

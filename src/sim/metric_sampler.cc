@@ -42,7 +42,7 @@ MetricSampler::addScalars(const stats::StatGroup &g)
 }
 
 void
-MetricSampler::start()
+MetricSampler::arm()
 {
     MGSEC_ASSERT(!started_, "sampler already started");
     MGSEC_ASSERT(!gauges_.empty(), "no gauges registered");
@@ -51,7 +51,19 @@ MetricSampler::start()
     values_.assign(capacity_ * gauges_.size(), 0.0);
     size_ = 0;
     head_ = 0;
+}
+
+void
+MetricSampler::start()
+{
+    arm();
     scheduleNext();
+}
+
+void
+MetricSampler::startManual()
+{
+    arm();
 }
 
 void
@@ -71,6 +83,25 @@ MetricSampler::sampleNow()
         sample();
 }
 
+void
+MetricSampler::sampleAt(Tick t)
+{
+    MGSEC_ASSERT(started_, "sampleAt before start");
+    std::size_t row;
+    if (size_ < capacity_) {
+        row = rowIndex(size_);
+        ++size_;
+    } else {
+        row = head_;
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+    ticks_[row] = t;
+    double *vals = values_.data() + row * gauges_.size();
+    for (std::size_t c = 0; c < gauges_.size(); ++c)
+        vals[c] = gauges_[c](t);
+}
+
 std::size_t
 MetricSampler::rowIndex(std::size_t i) const
 {
@@ -80,21 +111,7 @@ MetricSampler::rowIndex(std::size_t i) const
 void
 MetricSampler::sample()
 {
-    std::size_t row;
-    if (size_ < capacity_) {
-        row = rowIndex(size_);
-        ++size_;
-    } else {
-        // Full: overwrite the oldest retained row.
-        row = head_;
-        head_ = (head_ + 1) % capacity_;
-        ++dropped_;
-    }
-    const Tick t = eq_.now();
-    ticks_[row] = t;
-    double *vals = values_.data() + row * gauges_.size();
-    for (std::size_t c = 0; c < gauges_.size(); ++c)
-        vals[c] = gauges_[c](t);
+    sampleAt(eq_.now());
 }
 
 Tick

@@ -65,8 +65,19 @@ class MetricSampler
     /** Schedule the first sample at now + interval. */
     void start();
 
+    /**
+     * Arm the ring without scheduling any events: the caller drives
+     * sampling explicitly via sampleAt(). The sharded kernel uses
+     * this so gauges reading cross-domain state only run at barrier
+     * windows, when every domain thread is quiesced.
+     */
+    void startManual();
+
     /** Take one sample immediately (e.g. the end-of-run snapshot). */
     void sampleNow();
+
+    /** Take one sample recorded at tick @p t (manual mode). */
+    void sampleAt(Tick t);
 
     Cycles interval() const { return interval_; }
     std::size_t capacity() const { return capacity_; }
@@ -87,6 +98,7 @@ class MetricSampler
     void writeJson(std::ostream &os) const;
 
   private:
+    void arm();
     void scheduleNext();
     void sample();
     std::size_t rowIndex(std::size_t i) const;

@@ -1,6 +1,9 @@
 #include "sim/trace_sink.hh"
 
 #include <ostream>
+#include <string>
+
+#include "sim/logging.hh"
 
 namespace mgsec
 {
@@ -8,6 +11,11 @@ namespace mgsec
 TraceSink::TraceSink(std::ostream &os) : os_(os)
 {
     os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+TraceSink::TraceSink(std::ostream &os, Embedded)
+    : os_(os), embedded_(true)
+{
 }
 
 TraceSink::~TraceSink()
@@ -18,7 +26,7 @@ TraceSink::~TraceSink()
 void
 TraceSink::finish()
 {
-    if (finished_)
+    if (finished_ || embedded_)
         return;
     finished_ = true;
     os_ << "\n]}\n";
@@ -26,10 +34,35 @@ TraceSink::finish()
 }
 
 void
+TraceSink::appendRaw(const std::string &buf, std::uint64_t nevents)
+{
+    MGSEC_ASSERT(!embedded_, "appendRaw on an embedded sink");
+    if (nevents == 0 || buf.empty())
+        return;
+    MGSEC_ASSERT(buf[0] == ',', "embedded buffer missing its comma");
+    if (events_ == 0)
+        os_.write(buf.data() + 1, // drop the leading comma
+                  static_cast<std::streamsize>(buf.size() - 1));
+    else
+        os_.write(buf.data(),
+                  static_cast<std::streamsize>(buf.size()));
+    events_ += nevents;
+}
+
+std::uint64_t
+TraceSink::takeEvents()
+{
+    MGSEC_ASSERT(embedded_, "takeEvents on a master sink");
+    const std::uint64_t n = events_;
+    events_ = 0;
+    return n;
+}
+
+void
 TraceSink::prefix(char ph, std::uint32_t tid, const char *cat,
                   const char *name, Tick ts)
 {
-    os_ << (events_ ? ",\n" : "\n");
+    os_ << (embedded_ || events_ ? ",\n" : "\n");
     ++events_;
     os_ << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid
         << ",\"cat\":\"" << cat << "\",\"name\":\"" << name

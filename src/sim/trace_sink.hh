@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "sim/types.hh"
 
@@ -47,6 +48,20 @@ class TraceSink
     /** The stream must outlive the sink; finish() seals the JSON. */
     explicit TraceSink(std::ostream &os);
     ~TraceSink();
+
+    /** Tag selecting the embedded (buffer) mode. */
+    struct Embedded
+    {
+    };
+
+    /**
+     * Embedded mode, used for the per-domain buffers of the sharded
+     * kernel: no document header or footer is written, and every
+     * event is prefixed with ",\n" so the buffered bytes can be
+     * spliced verbatim into a master sink's traceEvents array with
+     * appendRaw().
+     */
+    TraceSink(std::ostream &os, Embedded);
 
     TraceSink(const TraceSink &) = delete;
     TraceSink &operator=(const TraceSink &) = delete;
@@ -75,6 +90,19 @@ class TraceSink
 
     std::uint64_t events() const { return events_; }
 
+    /**
+     * Splice @p nevents events captured by an embedded sink into
+     * this (non-embedded) sink's array. The leading comma of the
+     * buffer is dropped when this sink has emitted nothing yet.
+     */
+    void appendRaw(const std::string &buf, std::uint64_t nevents);
+
+    /**
+     * Embedded sinks only: return the buffered event count and reset
+     * it, pairing with the owner draining the underlying buffer.
+     */
+    std::uint64_t takeEvents();
+
   private:
     /** Common prefix up to (but not including) the closing brace. */
     void prefix(char ph, std::uint32_t tid, const char *cat,
@@ -82,6 +110,7 @@ class TraceSink
 
     std::ostream &os_;
     std::uint64_t events_ = 0;
+    bool embedded_ = false;
     bool finished_ = false;
 };
 

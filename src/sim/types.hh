@@ -31,6 +31,13 @@ using NodeId = std::uint32_t;
 /** Sentinel node id. */
 constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
 
+/**
+ * Identifier of an event domain when the kernel is sharded
+ * (sim/domain.hh). Domain 0 is the host/fabric domain; domains
+ * 1..numGpus are the per-GPU domains. A serial run is all domain 0.
+ */
+using DomainId = std::uint32_t;
+
 /** Byte count. */
 using Bytes = std::uint64_t;
 

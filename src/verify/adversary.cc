@@ -100,10 +100,24 @@ AdversaryModel::eligible(AttackClass c, const Packet &p) const
     return false;
 }
 
+bool
+AdversaryModel::wasInjected(const Packet &p, bool consume)
+{
+    const auto it = injected_.find({pairOf(p), p.id});
+    if (it == injected_.end())
+        return false;
+    if (consume && --it->second == 0)
+        injected_.erase(it);
+    return true;
+}
+
 Network::TamperVerdict
 AdversaryModel::onWire(Packet &p)
 {
-    if (injecting_)
+    // Never tamper with our own injections. The id record, not the
+    // transient flag, is what fires under the sharded kernel's
+    // deferred (capture/replay) wire traversal.
+    if (wasInjected(p, /*consume=*/true) || injecting_)
         return Network::TamperVerdict::Forward;
 
     // Count every class's eligibility stream exactly once per
@@ -242,6 +256,7 @@ AdversaryModel::inject(PacketPtr clone, Cycles delay, bool is_replay)
                    [this, c = std::move(clone), is_replay]() mutable {
                        if (is_replay && oracle_ != nullptr)
                            oracle_->onInjected(*c);
+                       injected_[{pairOf(*c), c->id}]++;
                        injecting_ = true;
                        net_.send(std::move(c));
                        injecting_ = false;

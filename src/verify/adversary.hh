@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.hh"
@@ -50,6 +51,19 @@ class AdversaryModel
 
     /** True while the attacker's own injected traffic is in send. */
     bool injecting() const { return injecting_; }
+
+    /**
+     * True iff @p p is one of the adversary's own injected packets.
+     * Identification is by (flow, packet id), recorded at inject()
+     * time, so it survives the sharded kernel's deferred wire
+     * traversal: under capture mode the network replays sends at the
+     * window barrier, long after the transient injecting() flag has
+     * reset. Records are counted (a script can replay one packet
+     * twice) and @p consume decrements — the PostWire hook consumes,
+     * the testbed's PreWire peek does not — so a later genuine
+     * packet can never alias a finished injection.
+     */
+    bool wasInjected(const Packet &p, bool consume);
 
     /** @name Reporting */
     /// @{
@@ -98,6 +112,15 @@ class AdversaryModel
     std::array<std::uint32_t, kNumAttackClasses> seen_{};
     /** Last captured crypto material per (src,dst) pair. */
     std::map<std::uint64_t, Capture> captures_;
+
+    /**
+     * Outstanding injected packets, keyed (pair, packet id) with a
+     * count (packet ids are only unique per flow, and one packet can
+     * be replayed more than once). Touched only on the adversary's
+     * own domain thread and at quiesced barriers, so unguarded.
+     */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t>
+        injected_;
 
     bool injecting_ = false;
     std::vector<std::string> log_;

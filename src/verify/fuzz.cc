@@ -484,6 +484,7 @@ runCampaign(const CampaignConfig &cc)
         } else {
             cfg = generateCase(rng, cc.injectBug);
         }
+        cfg.simThreads = cc.simThreads;
         const CaseOutcome oc = runCase(cfg);
         ++out.runs;
         out.attacksMounted += oc.result.attacksMounted;

@@ -71,6 +71,13 @@ struct CampaignConfig
     SeededBug injectBug = SeededBug::None;
     /** Print a line per case to stdout. */
     bool verbose = false;
+    /**
+     * Event-kernel threads for every case (TestbedConfig::simThreads,
+     * clamped per case to its node count). Repro strings deliberately
+     * omit it: verdicts are thread-count invariant, so a repro always
+     * replays serially.
+     */
+    std::uint32_t simThreads = 1;
 };
 
 struct CampaignResult

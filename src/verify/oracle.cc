@@ -200,6 +200,7 @@ SecurityOracle::validateTrailer(PairKey pair, NodeId src, NodeId dst,
 void
 SecurityOracle::onSent(const Packet &p)
 {
+    auto l = lockIfConcurrent();
     ++observed_;
     const PairKey pair = pairKey(p.src, p.dst);
 
@@ -374,6 +375,7 @@ SecurityOracle::onSent(const Packet &p)
 void
 SecurityOracle::onInjected(const Packet &p)
 {
+    auto l = lockIfConcurrent();
     ++observed_;
     injected_.emplace(pktKey(p.src, p.id), false);
 }
@@ -526,6 +528,7 @@ SecurityOracle::processDeliveredData(const Packet &p, bool injected)
 void
 SecurityOracle::onDelivered(const Packet &p)
 {
+    auto l = lockIfConcurrent();
     // Every secured data delivery either consumes its genuine copy
     // from the pair's sent stream (resolving skipped ids as losses)
     // or is an injected clone of an already-consumed original.
@@ -646,6 +649,7 @@ SecurityOracle::resolveLost(NodeId src, NodeId dst, std::uint64_t id,
 void
 SecurityOracle::onDropped(const Packet &p)
 {
+    auto l = lockIfConcurrent();
     for (std::size_t i = 0; i < p.acks.size(); ++i) {
         dropped_acks_.push_back(DroppedAck{
             p.dst, p.src, p.acks[i].upToCtr, false});
@@ -663,6 +667,7 @@ void
 SecurityOracle::noteTampered(NodeId src, std::uint64_t id,
                              AttackClass cls)
 {
+    auto l = lockIfConcurrent();
     tampered_.emplace(pktKey(src, id), TamperRec{cls, false});
 }
 

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -85,8 +86,19 @@ class SecurityOracle
      */
     void noteNeutralized(std::string what)
     {
+        auto l = lockIfConcurrent();
         neutralized_.push_back(std::move(what));
     }
+
+    /**
+     * Guard the observation hooks with a mutex for the sharded
+     * testbed, where deliveries land on concurrent domain threads.
+     * Each hook's model updates are keyed by flow or receiver, so
+     * the interleaving across domains cannot change any individual
+     * verdict — only the append order of the findings/neutralized
+     * vectors, never their contents or pass()/finalize() results.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
 
     /**
      * Diff every prediction against the real channels (indexed by
@@ -170,8 +182,17 @@ class SecurityOracle
     void resolveLost(NodeId src, NodeId dst, std::uint64_t id,
                      bool gap_seen);
 
+    std::unique_lock<std::mutex>
+    lockIfConcurrent()
+    {
+        return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                           : std::unique_lock<std::mutex>();
+    }
+
     std::uint32_t num_nodes_;
     SecurityConfig cfg_;
+    bool concurrent_ = false;
+    std::mutex mu_;
     crypto::AesGcm gcm_; ///< shared AES core; GHASH goes via gfmul
     crypto::U128 hash_key_;
 

@@ -1,6 +1,9 @@
 #include "verify/testbed.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/parallel_kernel.hh"
 
 namespace mgsec::verify
 {
@@ -37,12 +40,20 @@ VerifyTestbed::VerifyTestbed(const TestbedConfig &cfg) : cfg_(cfg)
     sec_.batchSize = cfg_.batchSize;
     sec_.functionalCrypto = true;
 
+    sim_threads_ = std::min(std::max(cfg_.simThreads, 1u),
+                            cfg_.numNodes);
+    if (sharded()) {
+        domains_.push_back(std::make_unique<Domain>(0, eq_));
+        for (NodeId n = 1; n < cfg_.numNodes; ++n)
+            domains_.push_back(std::make_unique<Domain>(n));
+    }
+
     net_ = std::make_unique<Network>("net", eq_, cfg_.numNodes,
                                      LinkParams{16.0, 50},
                                      LinkParams{25.0, 10});
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         channels_.push_back(std::make_unique<SecureChannel>(
-            strformat("ch%u", n), eq_, *net_, n, sec_));
+            strformat("ch%u", n), queueOf(n), *net_, n, sec_));
         channels_.back()->setDeliver(
             [this](PacketPtr) { ++delivered_; });
     }
@@ -51,7 +62,17 @@ VerifyTestbed::VerifyTestbed(const TestbedConfig &cfg) : cfg_(cfg)
         std::make_unique<AdversaryModel>(eq_, *net_, oracle_.get());
     adversary_->setScript(cfg_.script);
     factory_ = std::make_unique<crypto::PadFactory>(sec_.sessionKey);
+    if (sharded()) {
+        net_->setParallelCapture(true);
+        oracle_->setConcurrent(true);
+    }
     mountHooks();
+}
+
+EventQueue &
+VerifyTestbed::queueOf(NodeId n)
+{
+    return sharded() ? domains_[n]->eq() : eq_;
 }
 
 void
@@ -61,7 +82,12 @@ VerifyTestbed::mountHooks()
     // adversary — where a buggy channel (seeded or real) shows.
     net_->setTamper(
         Network::TamperPoint::PreWire, [this](Packet &p) {
-            if (adversary_->injecting())
+            // The id record, not the transient injecting() flag:
+            // under capture mode this hook runs at barrier replay,
+            // after the flag has reset (peek only — the adversary's
+            // own PostWire hook consumes the record).
+            if (adversary_->injecting() ||
+                adversary_->wasInjected(p, /*consume=*/false))
                 return Network::TamperVerdict::Forward;
             if (cfg_.bug != SeededBug::None)
                 maybeSeedBug(p);
@@ -92,7 +118,9 @@ VerifyTestbed::scheduleTraffic()
             ++dst;
         const bool req = rng.below(100) < cfg_.requestPercent;
         const std::uint64_t addr = rng.next() & 0xffffffc0ULL;
-        eq_.schedule(t, [this, src, dst, req, addr]() {
+        // On the sender's own queue, so a sharded run executes the
+        // send inside src's domain window with src's local clock.
+        queueOf(src).schedule(t, [this, src, dst, req, addr]() {
             auto p = makePacket();
             p->src = src;
             p->dst = dst;
@@ -185,7 +213,27 @@ VerifyTestbed::runUntil(Tick until)
     // run() stops once the queue drains or time passes `until`; the
     // bound matters because the Dynamic scheme's adjustment timer
     // re-arms forever.
-    eq_.run(until);
+    if (!sharded()) {
+        eq_.run(until);
+        return;
+    }
+    // One kernel per leg, resuming at the window the previous leg
+    // stopped before. Lookahead = the minimum cross-domain link
+    // latency, exactly as in the system proper.
+    ParallelKernelConfig k;
+    for (auto &d : domains_)
+        k.domains.push_back(d.get());
+    k.threads = sim_threads_;
+    k.lookahead = std::min(net_->pcieParams().latency,
+                           net_->nvlinkParams().latency);
+    k.maxCycles = until;
+    k.exchange = [this]() {
+        return net_->replayCaptured([this](NodeId n) -> EventQueue & {
+            return domains_[n]->eq();
+        });
+    };
+    ParallelKernel kernel(std::move(k));
+    pdes_next_ = kernel.run(pdes_next_);
 }
 
 TestbedResult
@@ -193,9 +241,21 @@ VerifyTestbed::run()
 {
     scheduleTraffic();
     runUntil(last_send_ + kSettle);
-    for (auto &ch : channels_)
-        ch->drainBatches();
-    runUntil(eq_.now() + kSettle);
+    if (sharded()) {
+        // Drain each channel inside its own domain (a drain sends
+        // packets, which must be captured on the sender's lane with
+        // the sender's clock), then settle.
+        for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+            EventQueue &q = queueOf(n);
+            q.schedule(std::max(pdes_next_, q.now()),
+                       [this, n]() { channels_[n]->drainBatches(); });
+        }
+        runUntil(pdes_next_ + kSettle);
+    } else {
+        for (auto &ch : channels_)
+            ch->drainBatches();
+        runUntil(eq_.now() + kSettle);
+    }
 
     TestbedResult r;
     std::vector<SecureChannel *> chans;

@@ -23,6 +23,7 @@
 #ifndef MGSEC_VERIFY_TESTBED_HH
 #define MGSEC_VERIFY_TESTBED_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "crypto/otp.hh"
 #include "net/network.hh"
 #include "secure/secure_channel.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
 #include "verify/adversary.hh"
 #include "verify/oracle.hh"
@@ -55,6 +57,16 @@ struct TestbedConfig
     /** 0-based index of the eligible packet that triggers the bug. */
     std::uint32_t bugTrigger = 3;
     std::vector<AttackStep> script;
+
+    /**
+     * Event-kernel worker threads: 1 = the exact legacy serial path,
+     * >= 2 = one event domain per node under the conservative-PDES
+     * kernel (clamped to numNodes). Sharded campaigns keep every
+     * verdict, counter and finding deterministic — only the append
+     * order of the findings list and the exact delivery ticks can
+     * differ from serial — and a repro is always replayed serially.
+     */
+    std::uint32_t simThreads = 1;
 };
 
 struct TestbedResult
@@ -105,9 +117,20 @@ class VerifyTestbed
     /** Run events until @p until (the Dynamic timer never drains). */
     void runUntil(Tick until);
 
+    bool sharded() const { return sim_threads_ > 1; }
+    /** The queue node @p n's channel lives on (domain n if sharded). */
+    EventQueue &queueOf(NodeId n);
+
     TestbedConfig cfg_;
     SecurityConfig sec_;
     EventQueue eq_;
+    /**
+     * Sharded mode only: one event domain per node — domain 0 wraps
+     * eq_ (keeping the network, adversary and node 0's channel on the
+     * legacy queue), the rest own their queues. Empty when serial.
+     */
+    std::vector<std::unique_ptr<Domain>> domains_;
+    std::uint32_t sim_threads_ = 1;
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<SecureChannel>> channels_;
     std::unique_ptr<SecurityOracle> oracle_;
@@ -115,8 +138,11 @@ class VerifyTestbed
     /** The testbed's own pad factory for seeded-bug recomputation. */
     std::unique_ptr<crypto::PadFactory> factory_;
 
-    std::uint64_t delivered_ = 0;
+    /** Atomic: sharded deliveries count on concurrent domain threads. */
+    std::atomic<std::uint64_t> delivered_{0};
     Tick last_send_ = 0;
+    /** Sharded kernel time: where the next runUntil() resumes. */
+    Tick pdes_next_ = 0;
 
     /** Seeded-bug state. */
     std::uint32_t bug_seen_ = 0;

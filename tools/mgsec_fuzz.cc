@@ -34,7 +34,10 @@ usage(const char *argv0)
         "usage: %s [--budget SECONDS] [--seed N] [--max-runs N]\n"
         "          [--repro STRING] [--inject-bug counterskip|"
         "stalecipher]\n"
-        "          [--artifact PATH] [--verbose]\n",
+        "          [--artifact PATH] [--sim-threads N] [--verbose]\n"
+        "  --sim-threads N   run every case on the domain-sharded\n"
+        "                    event kernel (repros still replay "
+        "serially)\n",
         argv0);
     return 2;
 }
@@ -142,6 +145,14 @@ main(int argc, char **argv)
             if (v == nullptr)
                 return usage(argv[0]);
             artifact = v;
+        } else if (arg == "--sim-threads") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            const unsigned long t = std::strtoul(v, nullptr, 10);
+            if (t < 1 || t > 256)
+                return usage(argv[0]);
+            cc.simThreads = static_cast<std::uint32_t>(t);
         } else if (arg == "--verbose") {
             cc.verbose = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -282,6 +282,27 @@ compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
     }
 }
 
+/**
+ * The per-thread-count speedups of a document's "simThreads" bench
+ * section, as (point key, speedup) pairs in document order. Empty
+ * when the document has no such section (sweep dumps, HIST files).
+ */
+std::vector<std::pair<std::string, double>>
+simThreadsSpeedups(const JsonValue &doc)
+{
+    std::vector<std::pair<std::string, double>> out;
+    const JsonValue *st = doc.find("simThreads");
+    if (!st || !st->isObject())
+        return out;
+    for (const auto &[k, v] : st->fields) {
+        if (!v.isObject())
+            continue;
+        if (const JsonValue *s = v.find("speedup"))
+            out.emplace_back(k, s->asNumber());
+    }
+    return out;
+}
+
 } // anonymous namespace
 
 int
@@ -388,6 +409,16 @@ main(int argc, char **argv)
     if (!loadDocs(inputs[1], newDocs))
         return 2;
 
+    // Sharded-kernel scaling column: speedups are wall-clock derived
+    // and therefore never gated, but a scaling regression should be
+    // visible in the CI log right next to the verdict.
+    struct StRow
+    {
+        std::string key;
+        double oldSp = 0.0, newSp = 0.0;
+    };
+    std::vector<StRow> stRows;
+
     CompareStats cs;
     for (const auto &[name, oldDoc] : oldDocs) {
         const JsonValue *newDoc = nullptr;
@@ -405,6 +436,19 @@ main(int argc, char **argv)
             continue;
         }
         compareDocs(oldDoc, *newDoc, name, threshold, ignores, cs);
+
+        const auto oldSp = simThreadsSpeedups(oldDoc);
+        const auto newSp = simThreadsSpeedups(*newDoc);
+        for (const auto &[k, ov] : oldSp) {
+            StRow row;
+            row.key = name.empty() ? k : name + "." + k;
+            row.oldSp = ov;
+            for (const auto &[nk, nv] : newSp) {
+                if (nk == k)
+                    row.newSp = nv;
+            }
+            stRows.push_back(std::move(row));
+        }
     }
 
     const bool regressed = !cs.flagged.empty();
@@ -417,6 +461,15 @@ main(int argc, char **argv)
     for (const Flagged &f : cs.flagged)
         std::printf("  %-50s %14g -> %14g  (%+.2f%%)\n",
                     f.path.c_str(), f.oldVal, f.newVal, f.deltaPct);
+
+    if (!stRows.empty()) {
+        std::printf("sim-threads speedup (informational, never "
+                    "gated):\n");
+        std::printf("  %-16s %12s %12s\n", "threads", "old", "new");
+        for (const StRow &r : stRows)
+            std::printf("  %-16s %11.2fx %11.2fx\n", r.key.c_str(),
+                        r.oldSp, r.newSp);
+    }
 
     std::ofstream os(outPath);
     if (!os) {
@@ -440,6 +493,18 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    if (!stRows.empty()) {
+        w.key("simThreads");
+        w.beginObject();
+        for (const StRow &r : stRows) {
+            w.key(r.key);
+            w.beginObject();
+            w.field("oldSpeedup", r.oldSp);
+            w.field("newSpeedup", r.newSp);
+            w.endObject();
+        }
+        w.endObject();
+    }
     w.endObject();
     os << "\n";
 
