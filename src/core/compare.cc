@@ -1,0 +1,90 @@
+#include "core/compare.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/json_in.hh"
+
+namespace mgsec
+{
+
+void
+flatten(const JsonValue &v, const std::string &path,
+        std::vector<std::pair<std::string, double>> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Number:
+        out.emplace_back(path, v.number);
+        break;
+      case JsonValue::Kind::Object: {
+        std::map<std::string, std::size_t> seen;
+        for (const auto &[k, child] : v.fields) {
+            if (k == "buckets")
+                continue;
+            const std::size_t n = ++seen[k];
+            const std::string name =
+                n == 1 ? k : k + "#" + std::to_string(n);
+            flatten(child, path.empty() ? name : path + "." + name,
+                    out);
+        }
+        break;
+      }
+      case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.items.size(); ++i)
+            flatten(v.items[i],
+                    path + "[" + std::to_string(i) + "]", out);
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+ignoredPath(const std::string &path,
+            const std::vector<std::string> &ignores)
+{
+    for (const std::string &s : ignores) {
+        if (path.find(s) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
+            const std::string &prefix, double threshold,
+            const std::vector<std::string> &ignores,
+            CompareStats &cs)
+{
+    std::vector<std::pair<std::string, double>> a, b;
+    flatten(oldDoc, prefix, a);
+    flatten(newDoc, prefix, b);
+    std::map<std::string, double> bmap(b.begin(), b.end());
+    std::set<std::string> matched;
+    for (const auto &[path, ov] : a) {
+        if (ignoredPath(path, ignores))
+            continue;
+        auto it = bmap.find(path);
+        if (it == bmap.end()) {
+            ++cs.onlyOld;
+            continue;
+        }
+        matched.insert(path);
+        ++cs.checked;
+        const double nv = it->second;
+        double delta = 0.0;
+        if (ov != 0.0)
+            delta = (nv - ov) / std::fabs(ov) * 100.0;
+        else if (nv != 0.0)
+            delta = nv > 0 ? 1e9 : -1e9; // appeared from zero
+        if (std::fabs(delta) > threshold)
+            cs.flagged.push_back(FlaggedLeaf{path, ov, nv, delta});
+    }
+    for (const auto &[path, nv] : b) {
+        if (!ignoredPath(path, ignores) && !matched.count(path))
+            ++cs.onlyNew;
+    }
+}
+
+} // namespace mgsec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Flatten-and-diff over parsed JSON documents: the engine behind
+ * mgsec_report --compare, extracted so the collision handling is
+ * unit-testable.
+ *
+ * Every numeric leaf becomes one (dotted path, value) pair. JSON
+ * objects may carry duplicate keys (the stats dump nests several
+ * unnamed StatGroups, which all serialize as "stats"); a repeated
+ * sibling key gets an occurrence suffix ("stats", "stats#2", ...)
+ * so two distinct leaves can never silently collapse onto one path
+ * — the bug that made --compare miss regressions in the second
+ * group of a duplicated key.
+ */
+
+#ifndef MGSEC_CORE_COMPARE_HH
+#define MGSEC_CORE_COMPARE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgsec
+{
+
+struct JsonValue;
+
+/** One leaf whose move exceeded the compare threshold. */
+struct FlaggedLeaf
+{
+    std::string path;
+    double oldVal = 0.0;
+    double newVal = 0.0;
+    double deltaPct = 0.0;
+};
+
+/** Accumulated over every document pair of one compare run. */
+struct CompareStats
+{
+    std::uint64_t checked = 0;
+    std::uint64_t onlyOld = 0;
+    std::uint64_t onlyNew = 0;
+    std::vector<FlaggedLeaf> flagged;
+};
+
+/**
+ * Append every numeric leaf of @p v as (path, value), rooted at
+ * @p path. Histogram "buckets" arrays are skipped — bucket movement
+ * always also moves the summary fields, and path-per-bucket noise
+ * would drown a report. Duplicate sibling keys are disambiguated
+ * with "#N" occurrence suffixes (N >= 2; the first keeps the plain
+ * key, preserving historical paths).
+ */
+void flatten(const JsonValue &v, const std::string &path,
+             std::vector<std::pair<std::string, double>> &out);
+
+/** True when @p path contains any of the @p ignores substrings. */
+bool ignoredPath(const std::string &path,
+                 const std::vector<std::string> &ignores);
+
+/**
+ * Flatten both documents under @p prefix and flag every shared leaf
+ * moving more than @p threshold percent into @p cs; unmatched paths
+ * count as onlyOld/onlyNew.
+ */
+void compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
+                 const std::string &prefix, double threshold,
+                 const std::vector<std::string> &ignores,
+                 CompareStats &cs);
+
+} // namespace mgsec
+
+#endif // MGSEC_CORE_COMPARE_HH

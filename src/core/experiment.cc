@@ -26,6 +26,11 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.security.dynParams = cfg.dynParams;
     sys.security.debugPadStallPct = cfg.debugPadStallPct;
     sys.security.cryptoImpl = cfg.cryptoImpl;
+    sys.security.shaping = cfg.shaping;
+    sys.security.shapeInterval = cfg.shapeInterval;
+    sys.security.shapePadTo = cfg.shapePadTo;
+    sys.security.shapeJitter = cfg.shapeJitter;
+    sys.security.shapeChaffSlots = cfg.shapeChaffSlots;
     // The trusted host of the paper's architecture protects its
     // untrusted DRAM (PENGLAI-style); the vanilla baseline has no
     // protection anywhere. The ablation benches override the default.
@@ -36,8 +41,12 @@ makeSystemConfig(const ExperimentConfig &cfg)
     return sys;
 }
 
+namespace
+{
+
+/** The historical key: every knob predating traffic shaping. */
 std::string
-configKey(const std::string &workload, const ExperimentConfig &cfg)
+configKeyBase(const std::string &workload, const ExperimentConfig &cfg)
 {
     return strformat(
         "%s|gpus=%u|scheme=%s|batch=%d/%u|otp=%ux|aes=%u|meta=%d|"
@@ -52,6 +61,27 @@ configKey(const std::string &workload, const ExperimentConfig &cfg)
         cfg.dynParams.confidenceDir, cfg.dynParams.confidencePeer,
         cfg.hostMemProtect, cfg.strongScaling ? 1 : 0,
         cfg.debugPadStallPct);
+}
+
+} // namespace
+
+std::string
+configKey(const std::string &workload, const ExperimentConfig &cfg)
+{
+    std::string key = configKeyBase(workload, cfg);
+    // Conditional suffix: a run without shaping keeps the exact key
+    // (and hash, and observability file names) it had before the
+    // shaping knobs existed.
+    if (cfg.shaping != ShapingPolicy::None) {
+        key += strformat(
+            "|shape=%s/%llu/%llu/%llu/%u",
+            shapingPolicyName(cfg.shaping),
+            static_cast<unsigned long long>(cfg.shapeInterval),
+            static_cast<unsigned long long>(cfg.shapePadTo),
+            static_cast<unsigned long long>(cfg.shapeJitter),
+            cfg.shapeChaffSlots);
+    }
+    return key;
 }
 
 std::string

@@ -53,6 +53,17 @@ struct ExperimentConfig
     bool strongScaling = true;
 
     /**
+     * Traffic-shaping countermeasure (SecurityConfig::shaping) plus
+     * its knobs. Joins configKey only when a policy is active, so
+     * every pre-existing configuration keeps its hash.
+     */
+    ShapingPolicy shaping = ShapingPolicy::None;
+    Cycles shapeInterval = 64;
+    Bytes shapePadTo = 128;
+    Cycles shapeJitter = 96;
+    std::uint32_t shapeChaffSlots = 512;
+
+    /**
      * Hidden debug knob (SecurityConfig::debugPadStallPct): inflate
      * exposed send-pad waits by this percentage so CI can prove the
      * mgsec_report regression gate trips. Part of configKey.

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -64,6 +65,22 @@ parseNumber(const std::string &text, unsigned long long lo,
     if (v < lo || v > hi)
         return false;
     out = v;
+    return true;
+}
+
+bool
+parseShaping(const std::string &text, ShapingPolicy &out)
+{
+    std::string t = text;
+    std::transform(t.begin(), t.end(), t.begin(), ::tolower);
+    if (t == "none" || t == "off")
+        out = ShapingPolicy::None;
+    else if (t == "constant-rate" || t == "constant")
+        out = ShapingPolicy::ConstantRate;
+    else if (t == "batch-jitter" || t == "jitter")
+        out = ShapingPolicy::BatchJitter;
+    else
+        return false;
     return true;
 }
 
@@ -179,6 +196,24 @@ RunOptions::set(const std::string &key, const std::string &value)
         ok = parseBool(value, exp.observe.latencyAttr);
     } else if (key == "hist-json") {
         exp.observe.histJsonOut = value;
+    } else if (key == "wire-json") {
+        exp.observe.wireOut = value;
+    } else if (key == "observe-dir") {
+        observeDir = value;
+    } else if (key == "shape") {
+        ok = parseShaping(value, exp.shaping);
+    } else if (key == "shape-interval") {
+        if ((ok = parseNumber(value, 1ULL, 1ULL << 32, u)))
+            exp.shapeInterval = u;
+    } else if (key == "shape-pad-to") {
+        if ((ok = parseNumber(value, 1ULL, 1ULL << 20, u)))
+            exp.shapePadTo = u;
+    } else if (key == "shape-jitter") {
+        if ((ok = parseNumber(value, 0ULL, 1ULL << 32, u)))
+            exp.shapeJitter = u;
+    } else if (key == "shape-chaff") {
+        if ((ok = parseNumber(value, 0ULL, 1ULL << 20, u)))
+            exp.shapeChaffSlots = static_cast<std::uint32_t>(u);
     } else if (key == "crypto-impl") {
         ok = crypto::parseCryptoImpl(value, exp.cryptoImpl);
     } else if (key == "sim-threads") {
@@ -203,6 +238,37 @@ RunOptions::set(const std::string &key, const std::string &value)
         std::cerr << "bad value '" << value << "' for '" << key
                   << "'\n";
     return ok;
+}
+
+bool
+RunOptions::finalizeObservability()
+{
+    if (observeDir.empty())
+        return true;
+    if (!exp.observe.metricsOut.empty() ||
+        !exp.observe.traceOut.empty() ||
+        !exp.observe.statsJsonOut.empty() ||
+        !exp.observe.histJsonOut.empty() ||
+        !exp.observe.wireOut.empty()) {
+        std::cerr << "--observe-dir bundles --metrics-out/--trace-out/"
+                     "--stats-json/--hist-json/--wire-json; remove "
+                     "the explicit path options\n";
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(observeDir, ec);
+    if (ec) {
+        std::cerr << "cannot create observability directory '"
+                  << observeDir << "': " << ec.message() << "\n";
+        return false;
+    }
+    const std::string h = configHash(workload, exp);
+    exp.observe.metricsOut = observeDir + "/METRICS_" + h + ".json";
+    exp.observe.traceOut = observeDir + "/TRACE_" + h + ".json";
+    exp.observe.statsJsonOut = observeDir + "/STATS_" + h + ".json";
+    exp.observe.histJsonOut = observeDir + "/HIST_" + h + ".json";
+    exp.observe.wireOut = observeDir + "/WIRE_" + h + ".json";
+    return true;
 }
 
 bool
@@ -303,6 +369,24 @@ RunOptions::usage(std::ostream &os)
           "histograms\n"
           "  --hist-json FILE       write attribution histograms as "
           "JSON (implies --attr on)\n"
+          "  --wire-json FILE       write the passive wire-observer "
+          "dump as JSON\n"
+          "  --observe-dir DIR      bundle all sinks into DIR with "
+          "sweep's METRICS_/TRACE_/\n"
+          "                         STATS_/HIST_/WIRE_<hash>.json "
+          "naming (+ OBSERVE_INDEX.json)\n"
+          "  --shape P              traffic shaping: none|"
+          "constant-rate|batch-jitter\n"
+          "  --shape-interval C     constant-rate slot width in "
+          "cycles (default 64)\n"
+          "  --shape-pad-to B       constant-rate wire-size quantum "
+          "in bytes (default 128)\n"
+          "  --shape-jitter C       max batch-close jitter in cycles "
+          "(default 96)\n"
+          "  --shape-chaff N        constant-rate cover traffic: "
+          "full-mesh chaff until a\n"
+          "                         node idles N slots "
+          "(0 = off; default 512)\n"
           "  --crypto-impl I        host crypto tier: auto|portable|"
           "simd (bit-identical results)\n"
           "  --sim-threads N        event-kernel worker threads "

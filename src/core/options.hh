@@ -22,6 +22,9 @@ namespace mgsec
 /** Parse a scheme name ("private", "Dynamic", ...). */
 bool parseScheme(const std::string &text, OtpScheme &out);
 
+/** Parse a shaping-policy name ("none", "constant-rate", ...). */
+bool parseShaping(const std::string &text, ShapingPolicy &out);
+
 /**
  * @name Strict numeric parsing
  * The entire string must convert (no trailing junk, no empty string)
@@ -51,6 +54,22 @@ struct RunOptions
     std::string traceRecord;
     /** Replay GPU 1's stream from this trace file. */
     std::string tracePlay;
+    /**
+     * Bundle every observability sink into one directory using the
+     * sweep's naming scheme (METRICS_/TRACE_/STATS_/HIST_/WIRE_
+     * <confighash>.json plus OBSERVE_INDEX.json). Mutually
+     * exclusive with the explicit per-sink path options.
+     */
+    std::string observeDir;
+
+    /**
+     * Resolve observeDir into concrete sink paths (after parse(),
+     * before running). Rejects conflicting explicit paths and
+     * creates the directory.
+     * @retval false on conflict or unusable directory (reported to
+     *         stderr).
+     */
+    bool finalizeObservability();
 
     /**
      * Apply one key=value setting.

@@ -14,6 +14,7 @@
 #include "sim/debug.hh"
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
+#include "workload/profile.hh"
 
 namespace mgsec
 {
@@ -40,9 +41,17 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
         os << "  --json F   also write the results as JSON to F\n";
     if (acceptObserve)
         os << "  --observe DIR  write per-job METRICS_/TRACE_/STATS_/"
-           << "HIST_ JSON files\n"
+           << "HIST_/WIRE_ JSON files\n"
            << "             (tagged by config hash) plus an "
            << "OBSERVE_INDEX.json into DIR\n";
+    if (acceptShape)
+        os << "  --shape P[,P...]  shaping policies to sweep: none|"
+           << "constant-rate|batch-jitter\n"
+           << "             (default none; extra policies add rows "
+           << "to the matrix)\n";
+    if (acceptWorkloads)
+        os << "  --workloads W[,W...]  restrict the matrix to these "
+           << "workloads (default all)\n";
     os << "  --crypto-impl I  host crypto tier auto|portable|simd "
        << "(bit-identical results)\n"
        << "  --sim-threads N  event-kernel worker threads per run "
@@ -97,6 +106,48 @@ SweepArgs::parseArgs(int argc, char **argv)
         } else if (acceptObserve &&
                    std::strcmp(arg, "--observe") == 0) {
             observeDir = value(i);
+        } else if (acceptShape && std::strcmp(arg, "--shape") == 0) {
+            shapes.clear();
+            std::string list = value(i);
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string tok = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                ShapingPolicy p = ShapingPolicy::None;
+                if (!parseShaping(tok, p))
+                    die("bad --shape value '%s'", tok.c_str());
+                shapes.push_back(p);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (shapes.empty())
+                die("bad --shape value '%s'", argv[i]);
+        } else if (acceptWorkloads &&
+                   std::strcmp(arg, "--workloads") == 0) {
+            workloads.clear();
+            std::string list = value(i);
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string tok = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                const auto &names = workloadNames();
+                bool known = false;
+                for (const auto &n : names)
+                    known = known || n == tok;
+                if (!known)
+                    die("unknown workload '%s'", tok.c_str());
+                workloads.push_back(tok);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (workloads.empty())
+                die("bad --workloads value '%s'", argv[i]);
         } else if (std::strcmp(arg, "--crypto-impl") == 0) {
             if (!crypto::parseCryptoImpl(value(i), cryptoImpl))
                 die("bad --crypto-impl value '%s'", argv[i]);
@@ -130,6 +181,10 @@ baselineConfig(ExperimentConfig cfg)
     cfg.batching = false;
     cfg.countMetadataBytes = true;
     cfg.hostMemProtect = -1; // auto: disabled for Unsecure
+    // Shaping is gated on secured(), so an unsecure baseline never
+    // shapes; clearing the knob keeps one memoized baseline (and one
+    // stable config hash) shared across every shaping policy.
+    cfg.shaping = ShapingPolicy::None;
     return cfg;
 }
 
@@ -259,6 +314,7 @@ Sweep::run()
             observe_dir_ + "/STATS_" + h + ".json";
         cfg.observe.histJsonOut =
             observe_dir_ + "/HIST_" + h + ".json";
+        cfg.observe.wireOut = observe_dir_ + "/WIRE_" + h + ".json";
         cfg.observe.metricsInterval = observe_interval_;
         observe_index.push_back(
             IndexEntry{h, configKey(workload, cfg)});

@@ -45,6 +45,18 @@ struct SweepArgs
     std::string observeDir; ///< parsed only when acceptObserve
 
     /**
+     * Shaping policies to sweep (--shape, comma-separated; parsed
+     * only when acceptShape). The default single None entry keeps
+     * the historical matrix — and its output — unchanged.
+     */
+    std::vector<ShapingPolicy> shapes{ShapingPolicy::None};
+    /**
+     * Workload filter (--workloads, comma-separated; parsed only
+     * when acceptWorkloads). Empty = every paper workload.
+     */
+    std::vector<std::string> workloads;
+
+    /**
      * Host crypto tier for every queued run (--crypto-impl). Speed
      * knob only; any setting produces bit-identical sweep output.
      */
@@ -62,6 +74,8 @@ struct SweepArgs
     bool acceptGpus = false;
     bool acceptJson = false;
     bool acceptObserve = false;
+    bool acceptShape = false;
+    bool acceptWorkloads = false;
 
     /**
      * Parse argv into *this (current members are the defaults).

@@ -253,6 +253,14 @@ MultiGpuSystem::enableTrace(std::ostream &os)
     MGSEC_ASSERT(!trace_, "trace sink already attached");
     trace_ = std::make_unique<TraceSink>(os);
     eq_.setTraceSink(trace_.get());
+    if (sharded()) {
+        // Named lanes for the sharded kernel's traces: without the
+        // metadata, about:tracing shows bare tids. Serial traces
+        // stay byte-identical to their historical form.
+        trace_->metadata(0, "process_name", "mgsec " + profile_.name);
+        for (const auto &n : nodes_)
+            trace_->metadata(n->nodeId(), "thread_name", n->name());
+    }
 }
 
 void
@@ -423,6 +431,15 @@ MultiGpuSystem::enableAttribution()
 }
 
 void
+MultiGpuSystem::enableWireObserver()
+{
+    if (wire_)
+        return;
+    wire_ = std::make_unique<WireObserver>(cfg_.numNodes());
+    net_->setWireObserver(wire_.get());
+}
+
+void
 MultiGpuSystem::openObservability()
 {
     observ_opened_ = true;
@@ -445,6 +462,8 @@ MultiGpuSystem::openObservability()
     if (!cfg_.observe.metricsOut.empty() && !sampler_)
         enableMetrics(cfg_.observe.metricsInterval,
                       cfg_.observe.metricsRing);
+    if (!cfg_.observe.wireOut.empty())
+        enableWireObserver();
 }
 
 void
@@ -487,6 +506,15 @@ MultiGpuSystem::flushObservability()
             attr_->writeJson(f);
         }
     }
+    if (wire_ && !cfg_.observe.wireOut.empty()) {
+        std::ofstream f(cfg_.observe.wireOut);
+        if (!f) {
+            warn("cannot open wire-observer output '%s'",
+                 cfg_.observe.wireOut.c_str());
+        } else {
+            wire_->writeJson(f);
+        }
+    }
 }
 
 std::uint64_t
@@ -510,6 +538,12 @@ MultiGpuSystem::runParallel()
     }
     if (sampler_)
         metrics_due_ = sampler_->interval();
+    if (sampler_ && trace_) {
+        // Counter tracks: mirror each barrier-driven sample into the
+        // trace so gauges render as lanes next to the named threads.
+        // Sharded-only, keeping serial trace artifacts byte-stable.
+        sampler_->setTraceSink(trace_.get());
+    }
     if (cfg_.commSampleInterval > 0)
         comm_due_ = cfg_.commSampleInterval;
 

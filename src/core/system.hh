@@ -27,6 +27,7 @@
 #include "sim/latency_attr.hh"
 #include "sim/metric_sampler.hh"
 #include "sim/trace_sink.hh"
+#include "sim/wire_observer.hh"
 #include "workload/profile.hh"
 
 namespace mgsec
@@ -47,6 +48,8 @@ struct ObserveConfig
     std::string statsJsonOut;
     /** Standalone latency-attribution histogram JSON. */
     std::string histJsonOut;
+    /** Passive wire-observer dump (WIRE_<hash>.json schema). */
+    std::string wireOut;
     /** Cycles between metric samples. */
     Cycles metricsInterval = 1000;
     /** Metric ring rows kept (oldest rows drop beyond this). */
@@ -62,7 +65,7 @@ struct ObserveConfig
     {
         return !metricsOut.empty() || !traceOut.empty() ||
                !statsJsonOut.empty() || !histJsonOut.empty() ||
-               latencyAttr;
+               !wireOut.empty() || latencyAttr;
     }
 };
 
@@ -229,6 +232,13 @@ class MultiGpuSystem
     void writeMetricsJson(std::ostream &os) const;
 
     /**
+     * Attach the passive wire observer to the network. Call before
+     * run(); a null observer pointer in the Network is the entire
+     * cost when disabled. Idempotent.
+     */
+    void enableWireObserver();
+
+    /**
      * Attach the per-message latency-attribution collector. Call
      * before run() — and before enableMetrics() if the percentile
      * gauge columns are wanted. Stamping/folding costs nothing when
@@ -238,6 +248,7 @@ class MultiGpuSystem
 
     const TraceSink *traceSink() const { return trace_.get(); }
     const MetricSampler *metrics() const { return sampler_.get(); }
+    const WireObserver *wireObserver() const { return wire_.get(); }
     const LatencyAttribution *attribution() const
     {
         return attr_.get();
@@ -289,6 +300,7 @@ class MultiGpuSystem
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<MetricSampler> sampler_;
     std::unique_ptr<LatencyAttribution> attr_;
+    std::unique_ptr<WireObserver> wire_;
     /** openObservability() ran (destructor may need to flush). */
     bool observ_opened_ = false;
     /** flushObservability() already ran (flush exactly once). */

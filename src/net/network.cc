@@ -6,6 +6,7 @@
 #include "sim/latency_attr.hh"
 #include "sim/logging.hh"
 #include "sim/trace_sink.hh"
+#include "sim/wire_observer.hh"
 
 namespace mgsec
 {
@@ -178,6 +179,13 @@ Network::sendOnWire(PacketPtr pkt, Tick send_tick, EventQueue &dst_eq)
         lifeStamp(pkt->life, LifeStamp::WireEntry) = send_tick;
         lifeStamp(pkt->life, LifeStamp::Delivered) = arrive;
     }
+
+    // The passive observer sees the committed wire crossing exactly
+    // as a fabric probe would: endpoints, wire bytes, and timing —
+    // nothing a post-wire meddler does can retroactively hide it.
+    if (wire_obs_)
+        wire_obs_->onWirePacket(pkt->src, pkt->dst, bytes, send_tick,
+                                arrive);
 
     // Post-wire tamper point: accounting and port occupancy are
     // committed, so the hook observes the exact wire bytes; only

@@ -30,6 +30,8 @@
 namespace mgsec
 {
 
+class WireObserver;
+
 /** Static channel parameters. */
 struct LinkParams
 {
@@ -156,6 +158,17 @@ class Network : public SimObject
     std::uint64_t droppedPackets() const { return dropped_; }
     /// @}
 
+    /**
+     * Attach a passive wire observer (null detaches). The observer
+     * sees each packet's (src, dst, wire bytes, send tick, arrive
+     * tick) after the wire crossing is committed — the same view a
+     * probe on the exposed interconnect captures — and nothing else.
+     * Like the trace sink, a null pointer is the entire cost of the
+     * disabled feature.
+     */
+    void setWireObserver(WireObserver *obs) { wire_obs_ = obs; }
+    WireObserver *wireObserver() const { return wire_obs_; }
+
     /** @name Aggregate traffic accounting */
     /// @{
     Bytes totalBytes() const;
@@ -199,6 +212,7 @@ class Network : public SimObject
     LinkParams nvlink_;
 
     std::vector<Handler> handlers_;
+    WireObserver *wire_obs_ = nullptr;
     std::array<TamperHook, 2> tamper_;
     std::uint64_t dropped_ = 0;
 

@@ -26,6 +26,7 @@ Packet::reset()
     batchId = 0;
     batchLen = 0;
     batchLast = false;
+    chaffGen = 0;
     acks.clear();
     func.reset();
     sendReady = 0;
@@ -112,6 +113,8 @@ packetTypeName(PacketType t)
         return "TransReq";
       case PacketType::TransResp:
         return "TransResp";
+      case PacketType::Chaff:
+        return "Chaff";
     }
     return "Unknown";
 }

@@ -37,6 +37,7 @@ enum class PacketType : std::uint8_t
     BatchMac,   ///< standalone batched MsgMAC trailer
     TransReq,   ///< IOMMU translation request (GPU -> CPU)
     TransResp,  ///< IOMMU translation response
+    Chaff,      ///< shaping cover traffic; dropped on arrival
 };
 
 const char *packetTypeName(PacketType t);
@@ -127,6 +128,15 @@ struct Packet
     std::uint64_t batchId = 0;  ///< batch the message belongs to
     std::uint8_t batchLen = 0;  ///< nonzero on a batch's first message
     bool batchLast = false;     ///< closes its batch
+    /**
+     * Cover-traffic generation (PacketType::Chaff only): 0 when the
+     * sender's clock was refreshed by *real* activity, 1 when it is
+     * sustained only by received cover. Generation-0 chaff refreshes
+     * the receiver's cover clock; generation-1 chaff does not, which
+     * bounds how long the mesh keeps chaffing after the last real
+     * packet anywhere.
+     */
+    std::uint8_t chaffGen = 0;
     AckList acks; ///< piggybacked ACKs
 
     /** Real crypto material (functional-crypto mode only). */

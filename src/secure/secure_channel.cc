@@ -17,7 +17,9 @@ SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
     : SimObject(name, eq), net_(net), self_(self), cfg_(cfg),
       replay_(net.numNodes(), 16384),
       pending_acks_(net.numNodes()), ack_timers_(net.numNodes()),
-      last_departure_(net.numNodes(), 0)
+      last_departure_(net.numNodes(), 0),
+      chaff_armed_(net.numNodes(), 0),
+      chaff_claims_(net.numNodes())
 {
     if (cfg_.secured()) {
         pad_table_ = makePadTable(
@@ -85,6 +87,11 @@ SecureChannel::SecureChannel(const std::string &name, EventQueue &eq,
     regStat(mac_failed_);
     regStat(decrypt_ok_);
     regStat(decrypt_bad_);
+    if (shapingOn()) {
+        regStat(shape_pad_bytes_);
+        regStat(shape_delay_cycles_);
+        regStat(shape_chaff_pkts_);
+    }
 
     net_.setHandler(self_, [this](PacketPtr pkt) {
         handleArrival(std::move(pkt));
@@ -183,7 +190,20 @@ SecureChannel::send(PacketPtr pkt)
     // depart in counter order (the link preserves it from there).
     Tick dep = std::max(now(), pad_ready) + 1;
     dep = std::max(dep, last_departure_[pkt->dst]);
+    if (shapingOn()) {
+        const Tick shaped =
+            shapeDeparture(pkt->dst, dep,
+                           pkt->batchLast && pkt->hasMac,
+                           pkt->batchId);
+        shape_delay_cycles_ += static_cast<double>(shaped - dep);
+        dep = shaped;
+    }
     last_departure_[pkt->dst] = dep;
+    if (shapingOn()) {
+        claimChaffSlot(pkt->dst, dep);
+        last_real_activity_ = std::max(last_real_activity_, dep);
+        armChaff();
+    }
 
     if (dep > now()) {
         if (TraceSink *ts = eventq().traceSink())
@@ -197,6 +217,200 @@ SecureChannel::send(PacketPtr pkt)
             finishSend(std::move(p), now());
         });
     }
+}
+
+namespace
+{
+
+/** splitmix64 finalizer: a pure function of protocol state, so the
+ *  "randomness" is identical across runs and thread counts. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Cycles
+SecureChannel::jitterFor(std::uint64_t salt) const
+{
+    if (cfg_.shapeJitter == 0)
+        return 0;
+    return mix64((static_cast<std::uint64_t>(self_) << 48) ^ salt) %
+           cfg_.shapeJitter;
+}
+
+Tick
+SecureChannel::shapeDeparture(NodeId dst, Tick base, bool batch_close,
+                              std::uint64_t salt)
+{
+    switch (cfg_.shaping) {
+      case ShapingPolicy::ConstantRate: {
+        const Cycles slot = cfg_.shapeInterval;
+        if (slot == 0)
+            return base;
+        // Quantize up to the slot grid, with at most one data
+        // departure per destination per slot: every busy stretch of
+        // the flow shows the observer the same metronome regardless
+        // of what the workload is doing.
+        Tick dep = (base + slot - 1) / slot * slot;
+        dep = std::max(dep, last_departure_[dst] + slot);
+        return dep;
+      }
+      case ShapingPolicy::BatchJitter: {
+        if (!batch_close)
+            return base;
+        // Deterministic jitter keyed on the batch identity: blurs
+        // the close-to-close cadence without reordering counters
+        // (the result only ever moves the departure later).
+        return base + jitterFor(0x5ca1ab1eULL ^ salt ^
+                                (static_cast<std::uint64_t>(dst)
+                                 << 32));
+      }
+      default:
+        return base;
+    }
+}
+
+void
+SecureChannel::shapePad(Packet &pkt)
+{
+    if (cfg_.shaping != ShapingPolicy::ConstantRate ||
+        cfg_.shapePadTo == 0)
+        return;
+    const Bytes rem = pkt.wireBytes() % cfg_.shapePadTo;
+    if (rem == 0)
+        return;
+    const Bytes pad = cfg_.shapePadTo - rem;
+    // Pad rides the security-metadata class: it is chaff the secure
+    // layer appends, indistinguishable on the wire from real
+    // metadata, and the traffic accounting charges it to security.
+    pkt.secMetaBytes += pad;
+    shape_pad_bytes_ += static_cast<double>(pad);
+}
+
+void
+SecureChannel::dispatchCtl(PacketPtr pkt, bool batch_close)
+{
+    if (!shapingOn()) {
+        net_.send(std::move(pkt));
+        return;
+    }
+    shapePad(*pkt);
+    Tick dep = now();
+    if (cfg_.shaping == ShapingPolicy::ConstantRate &&
+        cfg_.shapeInterval > 0) {
+        const Cycles slot = cfg_.shapeInterval;
+        // Control packets claim a slot on the same one-per-slot grid
+        // as data: a slot carrying two packets (data + ACK) would
+        // hand the observer a sub-slot gap that scales with control
+        // volume — exactly the signal constant rate must erase.
+        dep = std::max((now() + slot) / slot * slot,
+                       last_departure_[pkt->dst] + slot);
+        last_departure_[pkt->dst] = dep;
+        claimChaffSlot(pkt->dst, dep);
+    } else if (cfg_.shaping == ShapingPolicy::BatchJitter &&
+               batch_close) {
+        dep = now() + jitterFor(0x7ea11e55ULL ^ pkt->batchId ^
+                                (static_cast<std::uint64_t>(pkt->dst)
+                                 << 32));
+    }
+    last_real_activity_ = std::max(last_real_activity_, dep);
+    armChaff();
+    if (dep <= now()) {
+        net_.send(std::move(pkt));
+        return;
+    }
+    shape_delay_cycles_ += static_cast<double>(dep - now());
+    eventq().schedule(dep, [this, p = std::move(pkt)]() mutable {
+        net_.send(std::move(p));
+    });
+}
+
+void
+SecureChannel::armChaff()
+{
+    if (!chaffOn())
+        return;
+    const Cycles slot = cfg_.shapeInterval;
+    // First check at the next grid boundary; chaffTick steps over
+    // the individual slots real departures have claimed.
+    const Tick next = (now() / slot + 1) * slot;
+    for (NodeId dst = 0; dst < net_.numNodes(); ++dst) {
+        if (dst == self_ || chaff_armed_[dst])
+            continue;
+        chaff_armed_[dst] = 1;
+        eventq().schedule(next, [this, dst, next]() {
+            chaffTick(dst, next);
+        });
+    }
+}
+
+void
+SecureChannel::chaffTick(NodeId dst, Tick slot_time)
+{
+    const Cycles slot = cfg_.shapeInterval;
+    // Step past exactly the slots real departures claimed. A claim
+    // can jump boundaries (a pad-wait rounds its departure up past
+    // the next slot), so the chain must test slot ownership, not a
+    // high-water mark: the boundary a claim skipped still needs a
+    // chaff packet or the observer sees a workload-shaped hole.
+    // All claims for slot_time were pushed by strictly earlier
+    // events (quantization rounds up past now()), so the queue is
+    // complete by the time this fires.
+    auto &claims = chaff_claims_[dst];
+    while (!claims.empty() && claims.front() < slot_time)
+        claims.pop_front();
+    if (!claims.empty() && claims.front() == slot_time) {
+        claims.pop_front();
+        const Tick next = slot_time + slot;
+        eventq().schedule(next, [this, dst, next]() {
+            chaffTick(dst, next);
+        });
+        return;
+    }
+    const Tick budget =
+        static_cast<Tick>(cfg_.shapeChaffSlots) * slot;
+    const Tick alive =
+        std::max(last_real_activity_, last_cover_activity_);
+    if (slot_time > alive && slot_time - alive > budget) {
+        // The whole neighbourhood has been idle past the chaff
+        // budget: go quiet so the event queue drains shortly after
+        // the workload's last real packet. Keyed to node (and
+        // relayed peer) activity, not this flow's — a silent flow
+        // inside an active mesh is exactly what full-mesh cover
+        // must hide.
+        chaff_armed_[dst] = 0;
+        return;
+    }
+    // Empty slot inside the chaff window: fill it with a dummy that
+    // wears the same padded wire image as real shaped traffic. The
+    // receiver drops it on arrival; it never touches last_departure_,
+    // so it cannot retrigger or extend its own window.
+    auto pkt = makePacket();
+    pkt->id = next_pkt_id_++;
+    pkt->type = PacketType::Chaff;
+    pkt->src = self_;
+    pkt->dst = dst;
+    // Generation 0 while this node's own real clock is fresh; 1 when
+    // only relayed cover keeps it alive (receivers must not relay
+    // that further, or the mesh would chaff forever).
+    pkt->chaffGen =
+        (slot_time <= last_real_activity_ + budget) ? 0 : 1;
+    pkt->injectTick = now();
+    pkt->headerBytes =
+        cfg_.countMetadataBytes ? cfg_.ackHeaderBytes : 1;
+    shapePad(*pkt);
+    ++shape_chaff_pkts_;
+    net_.send(std::move(pkt));
+    const Tick next = slot_time + slot;
+    eventq().schedule(next, [this, dst, next]() {
+        chaffTick(dst, next);
+    });
 }
 
 crypto::BlockPayload
@@ -345,6 +559,9 @@ SecureChannel::finishSend(PacketPtr pkt, Tick departure)
         }
     }
 
+    if (shapingOn())
+        shapePad(*pkt); // after piggyback: pads the final wire image
+
     ++packets_sent_;
     if (observer_ && pkt->isResponse() &&
         pkt->payloadBytes >= kBlockBytes)
@@ -389,7 +606,7 @@ SecureChannel::flushAcks(NodeId peer)
         pkt->headerBytes = 1; // protocol-only packet, token cost
     }
     ++standalone_acks_;
-    net_.send(std::move(pkt));
+    dispatchCtl(std::move(pkt), false);
 }
 
 void
@@ -427,7 +644,7 @@ SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
         pkt->headerBytes = 1;
     }
     ++trailers_;
-    net_.send(std::move(pkt));
+    dispatchCtl(std::move(pkt), true);
 }
 
 void
@@ -448,7 +665,26 @@ SecureChannel::handleArrival(PacketPtr pkt)
     if (!pkt->acks.empty())
         processAcks(pkt->src, pkt->acks);
 
+    // Genuine arrivals refresh the cover-traffic clock too: a node
+    // that is only listening must still chaff, or its silence would
+    // expose the communication pattern around it.
+    if (shapingOn() && pkt->type != PacketType::Chaff) {
+        last_real_activity_ = std::max(last_real_activity_, now());
+        armChaff();
+    }
+
     switch (pkt->type) {
+      case PacketType::Chaff:
+        // Cover traffic carries nothing — but generation-0 chaff
+        // relays "my sender is really active", which must keep this
+        // node's own cover running (a listening-only node going
+        // quiet would betray the flow pattern around it).
+        if (shapingOn() && pkt->chaffGen == 0) {
+            last_cover_activity_ =
+                std::max(last_cover_activity_, now());
+            armChaff();
+        }
+        return;
       case PacketType::SecAck:
         return;
       case PacketType::BatchMac:

@@ -22,6 +22,7 @@
 #ifndef MGSEC_SECURE_SECURE_CHANNEL_HH
 #define MGSEC_SECURE_SECURE_CHANNEL_HH
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -146,6 +147,55 @@ class SecureChannel : public SimObject
     void sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
                           std::uint8_t count);
 
+    /** @name Traffic shaping (SecurityConfig::shaping) */
+    /// @{
+    bool shapingOn() const
+    {
+        return cfg_.secured() && cfg_.shaping != ShapingPolicy::None;
+    }
+    /**
+     * Shape a data departure: @p base is the unshaped departure
+     * (already clamped to counter order); returns the shaped one,
+     * never earlier than @p base. @p salt feeds the jitter policy
+     * (the batch identity, so each close jitters differently).
+     */
+    Tick shapeDeparture(NodeId dst, Tick base, bool batch_close,
+                        std::uint64_t salt);
+    /** Constant-rate only: pad the wire image up to the quantum. */
+    void shapePad(Packet &pkt);
+    /** Deterministic jitter in [0, shapeJitter) from protocol state. */
+    Cycles jitterFor(std::uint64_t salt) const;
+    /**
+     * Launch a protocol-only packet (trailer / standalone ACK)
+     * through the shaping policy instead of calling net_.send()
+     * directly; @p batch_close marks batch-close signatures for the
+     * jitter policy.
+     */
+    void dispatchCtl(PacketPtr pkt, bool batch_close);
+    /**
+     * Constant-rate cover traffic: start filling empty slots toward
+     * EVERY peer with chaff (no-op unless the policy and chaff
+     * budget call for it). Full-mesh cover, not just the flow that
+     * triggered it — per-link packet density must not reveal which
+     * pairs actually communicate.
+     */
+    void armChaff();
+    /** One chaff slot boundary for @p dst at tick @p slot_time. */
+    void chaffTick(NodeId dst, Tick slot_time);
+    /** Whether the constant-rate cover-traffic machinery is live. */
+    bool chaffOn() const
+    {
+        return cfg_.shaping == ShapingPolicy::ConstantRate &&
+               cfg_.shapeChaffSlots != 0 && cfg_.shapeInterval != 0;
+    }
+    /** Record a real shaped departure's slot for the chaff chain. */
+    void claimChaffSlot(NodeId dst, Tick dep)
+    {
+        if (chaffOn())
+            chaff_claims_[dst].push_back(dep);
+    }
+    /// @}
+
     Network &net_;
     NodeId self_;
     SecurityConfig cfg_;
@@ -177,6 +227,39 @@ class SecureChannel : public SimObject
 
     /** Per-destination departure clamp keeping counters in order. */
     std::vector<Tick> last_departure_;
+    /** Per-destination flag: a chaff timer chain is running. */
+    std::vector<std::uint8_t> chaff_armed_;
+    /**
+     * Per-destination queue of grid slots claimed by real shaped
+     * departures that the chaff chain has not stepped past yet.
+     * last_departure_ alone cannot drive the chain: a pad-wait can
+     * push a real departure two boundaries ahead, and treating the
+     * high-water mark as "covered through here" would leave the
+     * skipped slot empty — a wire-visible hole that scales with the
+     * workload's idle-to-burst transitions. Pushed only while chaff
+     * is enabled; pruned by chaffTick as slots pass.
+     */
+    std::vector<std::deque<Tick>> chaff_claims_;
+    /**
+     * Latest real (non-chaff) shaped activity at this node — its own
+     * departures and every genuine arrival. Chaff stays armed while
+     * this clock is within the chaff budget, so cover lapses only
+     * when the system around the node actually went quiet (chaff
+     * arrivals deliberately do not refresh it, or cover would
+     * sustain itself forever).
+     */
+    Tick last_real_activity_ = 0;
+    /**
+     * Latest generation-0 chaff arrival. A node whose peers are
+     * still really active must keep chaffing even if nothing real
+     * reaches it (or a quiet receiver's lapsed cover would expose
+     * which links carry real flows), so peers' real activity is
+     * relayed one hop through the generation bit on their chaff.
+     * Generation-1 chaff never refreshes either clock, so the mesh
+     * still drains within ~two chaff budgets of the last real
+     * packet anywhere.
+     */
+    Tick last_cover_activity_ = 0;
     /** Per-source delivery clamp (FIFO toward the node logic). */
     std::vector<Tick> last_deliver_;
     /** Highest counter seen per source (replay detection). */
@@ -215,6 +298,14 @@ class SecureChannel : public SimObject
                               "payloads decrypted to expected data"};
     stats::Scalar decrypt_bad_{"decryptsBad",
                                "payload decryption mismatches"};
+    /** Registered only when shaping is on (stats dumps stay stable
+     *  for every unshaped configuration). */
+    stats::Scalar shape_pad_bytes_{"shapePadBytes",
+                                   "wire bytes added by shaping"};
+    stats::Scalar shape_delay_cycles_{
+        "shapeDelayCycles", "departure delay added by shaping"};
+    stats::Scalar shape_chaff_pkts_{"shapeChaffPackets",
+                                    "cover-traffic packets sent"};
 };
 
 } // namespace mgsec

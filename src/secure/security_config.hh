@@ -17,6 +17,48 @@
 namespace mgsec
 {
 
+/**
+ * Traffic-shaping countermeasure against passive wire observers
+ * (sim/wire_observer.hh). Shaping acts at the secure channel's
+ * departure point, so it composes with every OTP scheme but is a
+ * no-op for Unsecure runs (there is no trusted shaping agent below
+ * the secure layer in the threat model).
+ */
+enum class ShapingPolicy : std::uint8_t
+{
+    None = 0,
+    /**
+     * Constant-rate padding: departures are quantized up to a fixed
+     * slot grid (shapeInterval) with at most one data departure per
+     * destination per slot, and every wire image is padded up to a
+     * multiple of shapePadTo bytes. Collapses the gap and size
+     * distributions the observer classifies on, at the cost of
+     * added latency and pad bytes.
+     */
+    ConstantRate = 1,
+    /**
+     * Batch-close jitter: only the batch-closing events (the MAC
+     * trailer and the final message of each batch) are delayed by a
+     * deterministic pseudo-random jitter in [0, shapeJitter). Much
+     * cheaper than constant-rate; blurs only the batch-close
+     * signature, not sizes or per-message gaps.
+     */
+    BatchJitter = 2,
+};
+
+inline const char *
+shapingPolicyName(ShapingPolicy p)
+{
+    switch (p) {
+      case ShapingPolicy::ConstantRate:
+        return "constant-rate";
+      case ShapingPolicy::BatchJitter:
+        return "batch-jitter";
+      default:
+        return "none";
+    }
+}
+
 struct SecurityConfig
 {
     OtpScheme scheme = OtpScheme::Private;
@@ -69,6 +111,29 @@ struct SecurityConfig
 
     /** Receiver MsgMAC storage per peer (Sec. IV-D: 64 entries). */
     std::uint32_t msgMacStoragePerPeer = 64;
+
+    /** @name Traffic shaping (countermeasure; see ShapingPolicy) */
+    /// @{
+    ShapingPolicy shaping = ShapingPolicy::None;
+    /** Constant-rate slot width in cycles. */
+    Cycles shapeInterval = 64;
+    /** Constant-rate wire-size quantum in bytes. */
+    Bytes shapePadTo = 128;
+    /** Max batch-close jitter in cycles (exclusive). */
+    Cycles shapeJitter = 96;
+    /**
+     * Constant-rate cover traffic: while a node has sent real
+     * traffic within this many slots, it fills every empty slot
+     * toward EVERY peer with a padded chaff packet (0 = no chaff).
+     * Full-mesh cover hides both activity intensity and which
+     * pairs actually communicate; the idle budget bounds the event
+     * queue so a run still drains shortly after the workload
+     * finishes. The default is sized to bridge the intra-run idle
+     * spans of the sparsest bundled workload, so a whole run reads
+     * as one continuous metronome.
+     */
+    std::uint32_t shapeChaffSlots = 512;
+    /// @}
 
     DynamicPadTable::Params dynParams{};
 

@@ -5,6 +5,7 @@
 #include "sim/json_writer.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace_sink.hh"
 
 namespace mgsec
 {
@@ -100,6 +101,11 @@ MetricSampler::sampleAt(Tick t)
     double *vals = values_.data() + row * gauges_.size();
     for (std::size_t c = 0; c < gauges_.size(); ++c)
         vals[c] = gauges_[c](t);
+    if (trace_) {
+        for (std::size_t c = 0; c < gauges_.size(); ++c)
+            trace_->counter(0, "metric", names_[c].c_str(), t,
+                            vals[c]);
+    }
 }
 
 std::size_t

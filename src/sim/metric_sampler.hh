@@ -32,6 +32,8 @@
 namespace mgsec
 {
 
+class TraceSink;
+
 namespace stats { class StatGroup; }
 
 /** Fixed-cadence gauge sampler with a bounded in-memory ring. */
@@ -79,6 +81,14 @@ class MetricSampler
     /** Take one sample recorded at tick @p t (manual mode). */
     void sampleAt(Tick t);
 
+    /**
+     * Mirror every sampled row into @p ts as Chrome counter ("C")
+     * events, one track per column, so metric gauges render as
+     * counter lanes alongside the event timeline. Null detaches.
+     * The sink must outlive the sampler (or be detached first).
+     */
+    void setTraceSink(TraceSink *ts) { trace_ = ts; }
+
     Cycles interval() const { return interval_; }
     std::size_t capacity() const { return capacity_; }
     std::size_t samples() const { return size_; }
@@ -108,6 +118,7 @@ class MetricSampler
     std::size_t capacity_;
     KeepGoing keep_;
     bool started_ = false;
+    TraceSink *trace_ = nullptr;
 
     std::vector<std::string> names_;
     std::vector<Gauge> gauges_;

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <string>
 
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace mgsec
@@ -111,6 +112,19 @@ TraceSink::counter(std::uint32_t tid, const char *cat,
 {
     prefix('C', tid, cat, name, ts);
     os_ << ",\"args\":{\"" << name << "\":" << value << "}}";
+}
+
+void
+TraceSink::metadata(std::uint32_t tid, const char *what,
+                    const std::string &name)
+{
+    // Metadata events carry no cat/ts; hand-rolled rather than
+    // through prefix() so the viewer does not see bogus fields.
+    os_ << (embedded_ || events_ ? ",\n" : "\n");
+    ++events_;
+    os_ << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid << ",\"name\":\""
+        << what << "\",\"args\":{\"name\":\"" << JsonWriter::escape(name)
+        << "\"}}";
 }
 
 } // namespace mgsec

@@ -85,6 +85,14 @@ class TraceSink
     void counter(std::uint32_t tid, const char *cat, const char *name,
                  Tick ts, double value);
 
+    /**
+     * Metadata ("M") event naming a lane: @p what is
+     * "process_name" or "thread_name", @p name the label shown by
+     * about:tracing / Perfetto instead of the bare pid/tid.
+     */
+    void metadata(std::uint32_t tid, const char *what,
+                  const std::string &name);
+
     /** Close the traceEvents array; idempotent, called by ~TraceSink. */
     void finish();
 

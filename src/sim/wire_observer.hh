@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Passive wire-level observer: what an adversary on the fabric sees.
+ *
+ * A WireObserver subscribes to the same wire-occupancy stream the
+ * TraceSink's "net" category records — one callback per packet
+ * crossing a link — but is deliberately restricted to the passive
+ * adversary's view: source, destination, wire size in bytes, and
+ * timing (departure and arrival ticks). No payload, no header
+ * fields, no security metadata are visible; batch structure must be
+ * *inferred* from size and timing alone, exactly as NVBleed-style
+ * link probes must (see PAPERS.md).
+ *
+ * The observer folds the stream online into per-directed-flow state
+ * (inter-packet-gap, wire-size, burst-length, and control-gap
+ * histograms) plus per-link-class (pcie / nvlink) utilization
+ * windows. Everything is a commutative multiset fold over packets
+ * keyed by departure tick, so the serialized output is byte-identical
+ * across --sim-threads worker counts that produce the same wire
+ * schedule (the sharded kernel's barrier merge replays captured wire
+ * events in a deterministic total order; see docs/OBSERVABILITY.md).
+ *
+ * "Control-sized" packets (wire size <= ctlMaxBytes) approximate the
+ * adversary's batch-close signature: batch MAC trailers and
+ * standalone ACKs are the only tiny packets on the wire, so the gap
+ * distribution between consecutive control-sized packets of a flow
+ * traces the batching cadence without reading any header bit.
+ *
+ * Like the TraceSink, a null observer pointer in the Network is the
+ * entire cost of the disabled feature.
+ */
+
+#ifndef MGSEC_SIM_WIRE_OBSERVER_HH
+#define MGSEC_SIM_WIRE_OBSERVER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mgsec
+{
+
+/** Folds the passive wire view into leakage-analysis features. */
+class WireObserver
+{
+  public:
+    struct Params
+    {
+        /** Width of one utilization window in cycles. */
+        Tick windowCycles = 1024;
+        /** Retained windows per link class; later bins are dropped
+         *  (and counted) so a long run bounds memory. */
+        std::size_t maxWindows = 16384;
+        /** A gap > burstGap cycles closes the current burst. */
+        Tick burstGap = 64;
+        /** Wire size <= this is counted as a control-sized packet. */
+        Bytes ctlMaxBytes = 32;
+    };
+
+    /** Nodes are 0 (CPU) .. num_nodes-1; flows are directed pairs. */
+    explicit WireObserver(std::uint32_t num_nodes)
+        : WireObserver(num_nodes, Params{})
+    {
+    }
+    WireObserver(std::uint32_t num_nodes, Params p);
+
+    /**
+     * One packet crossing the wire: src -> dst, @p bytes on the
+     * link, departing at @p send_tick and fully delivered at
+     * @p arrive_tick. Calls must be ordered by the wire schedule
+     * (nondecreasing send_tick per flow); the Network guarantees
+     * this in both the serial and the sharded kernel.
+     */
+    void onWirePacket(NodeId src, NodeId dst, Bytes bytes,
+                      Tick send_tick, Tick arrive_tick);
+
+    std::uint64_t packets() const { return packets_; }
+    std::uint64_t bytes() const { return bytes_; }
+
+    /**
+     * The adversary-visible feature vector: fixed-order
+     * (name, value) pairs derived from the folded state. Names and
+     * order are part of the WIRE_*.json schema (the classifier in
+     * src/verify and the report tooling consume them positionally).
+     */
+    std::vector<std::pair<std::string, double>> features() const;
+
+    /**
+     * Serialize the full observer state as one JSON document
+     * (WIRE_<hash>.json; schema in docs/OBSERVABILITY.md).
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    /** Per directed (src, dst) flow, folded online. */
+    struct Flow
+    {
+        Flow();
+
+        std::uint64_t packets = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t busy = 0; ///< sum of (arrive - send)
+        Tick firstSend = 0;
+        Tick lastSend = 0;
+        Tick lastArrive = 0;
+        bool seen = false;
+
+        Tick lastCtl = 0;
+        bool ctlSeen = false;
+        std::uint64_t ctlPackets = 0;
+
+        Tick burstStart = 0;
+        std::uint64_t burstLen = 0;
+
+        stats::Histogram gap;    ///< send-to-send deltas (cycles)
+        stats::Histogram size;   ///< wire bytes per packet
+        stats::Histogram burst;  ///< packets per burst
+        stats::Histogram ctlGap; ///< deltas between ctl-sized packets
+    };
+
+    /** Per link class (pcie / nvlink) accumulation. */
+    struct LinkClass
+    {
+        std::uint64_t packets = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t busy = 0;
+        /** bytes per windowCycles bin, indexed by send_tick bin. */
+        std::vector<std::uint64_t> windowBytes;
+        std::uint64_t droppedWindows = 0;
+    };
+
+    Flow &flow(NodeId src, NodeId dst);
+    const Flow &flow(NodeId src, NodeId dst) const;
+    bool isPcie(NodeId src, NodeId dst) const
+    {
+        return src == 0 || dst == 0;
+    }
+
+    /** Merge every flow of a link class into fresh histograms. */
+    void mergeClass(bool pcie, stats::Histogram &gap,
+                    stats::Histogram &size, stats::Histogram &burst,
+                    stats::Histogram &ctl_gap,
+                    std::uint64_t &ctl_packets) const;
+
+    std::uint32_t num_nodes_;
+    Params params_;
+    std::vector<Flow> flows_; ///< num_nodes^2, index src*n+dst
+    LinkClass pcie_;
+    LinkClass nvlink_;
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+    Tick first_send_ = 0;
+    Tick last_arrive_ = 0;
+    bool any_ = false;
+};
+
+} // namespace mgsec
+
+#endif // MGSEC_SIM_WIRE_OBSERVER_HH

@@ -1,0 +1,230 @@
+#include "verify/observer_adversary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace mgsec::verify
+{
+
+bool
+timingFeature(const std::string &name)
+{
+    // Volume features leak through any side channel; the classifier
+    // scores only what link *timing and shape* reveal. Burst lengths
+    // are packets-per-busy-stretch — under continuous cover traffic
+    // a run is one burst, so they collapse into a duration proxy and
+    // join the volume side of the line.
+    static const char *const kExcluded[] = {
+        "packets",      "bytes",     "durationCycles",
+        "pktPerKcyc",   "busyFrac",  "utilMeanBytes",
+        "fanoutMeanDsts", "burstMean", "burstP90",
+    };
+    // Features are "name" or "linkclass.name"; strip the prefix.
+    const std::size_t dot = name.rfind('.');
+    const std::string leaf =
+        dot == std::string::npos ? name : name.substr(dot + 1);
+    for (const char *ex : kExcluded) {
+        if (leaf == ex)
+            return false;
+    }
+    return true;
+}
+
+std::vector<double>
+timingVector(const ObservedRun &run)
+{
+    std::vector<double> out;
+    out.reserve(run.features.size());
+    for (const auto &[name, value] : run.features) {
+        if (timingFeature(name))
+            out.push_back(value);
+    }
+    return out;
+}
+
+LeakageReport
+classifyLeaveOneSeedOut(const std::vector<ObservedRun> &runs)
+{
+    LeakageReport rep;
+    rep.runs = runs.size();
+    if (runs.empty())
+        return rep;
+
+    std::vector<std::vector<double>> vecs;
+    vecs.reserve(runs.size());
+    for (const ObservedRun &r : runs)
+        vecs.push_back(timingVector(r));
+    const std::size_t dims = vecs[0].size();
+    for (const auto &v : vecs) {
+        MGSEC_ASSERT(v.size() == dims,
+                     "observed runs disagree on the feature schema");
+    }
+
+    std::map<std::string, std::size_t> label_count;
+    std::set<std::uint64_t> seeds;
+    for (const ObservedRun &r : runs) {
+        ++label_count[r.label];
+        seeds.insert(r.seed);
+    }
+    rep.classes = label_count.size();
+    std::size_t majority = 0;
+    for (const auto &[label, n] : label_count)
+        majority = std::max(majority, n);
+    rep.chance = static_cast<double>(majority) /
+                 static_cast<double>(runs.size());
+    if (rep.classes < 2 || dims == 0)
+        return rep;
+
+    // Folds: one per seed, or one per run when every run shares a
+    // seed (degenerate leave-one-run-out).
+    std::vector<std::vector<std::size_t>> folds;
+    if (seeds.size() >= 2) {
+        for (const std::uint64_t s : seeds) {
+            std::vector<std::size_t> fold;
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                if (runs[i].seed == s)
+                    fold.push_back(i);
+            }
+            folds.push_back(std::move(fold));
+        }
+    } else {
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            folds.push_back({i});
+    }
+
+    for (const auto &held_out : folds) {
+        // Training statistics from everything not in this fold.
+        std::vector<bool> held(runs.size(), false);
+        for (const std::size_t i : held_out)
+            held[i] = true;
+
+        std::vector<double> mean(dims, 0.0), var(dims, 0.0);
+        std::size_t train_n = 0;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (held[i])
+                continue;
+            ++train_n;
+            for (std::size_t d = 0; d < dims; ++d)
+                mean[d] += vecs[i][d];
+        }
+        if (train_n == 0)
+            continue;
+        for (double &m : mean)
+            m /= static_cast<double>(train_n);
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (held[i])
+                continue;
+            for (std::size_t d = 0; d < dims; ++d) {
+                const double dv = vecs[i][d] - mean[d];
+                var[d] += dv * dv;
+            }
+        }
+        std::vector<double> inv_sd(dims, 0.0);
+        for (std::size_t d = 0; d < dims; ++d) {
+            const double sd =
+                std::sqrt(var[d] / static_cast<double>(train_n));
+            // A feature constant across training runs carries no
+            // class signal; zero weight instead of a blow-up.
+            inv_sd[d] = sd > 1e-12 ? 1.0 / sd : 0.0;
+        }
+
+        // Per-class centroids in normalized space.
+        std::map<std::string, std::pair<std::vector<double>,
+                                        std::size_t>>
+            centroids;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (held[i])
+                continue;
+            auto &[sum, n] = centroids[runs[i].label];
+            if (sum.empty())
+                sum.assign(dims, 0.0);
+            for (std::size_t d = 0; d < dims; ++d)
+                sum[d] += (vecs[i][d] - mean[d]) * inv_sd[d];
+            ++n;
+        }
+        if (centroids.size() < 2)
+            continue; // fold lost all but one class; unscorable
+        for (auto &[label, cn] : centroids) {
+            for (double &v : cn.first)
+                v /= static_cast<double>(cn.second);
+        }
+
+        for (const std::size_t i : held_out) {
+            double best = 0.0;
+            const std::string *best_label = nullptr;
+            for (const auto &[label, cn] : centroids) {
+                double dist = 0.0;
+                for (std::size_t d = 0; d < dims; ++d) {
+                    const double z =
+                        (vecs[i][d] - mean[d]) * inv_sd[d];
+                    const double dv = z - cn.first[d];
+                    dist += dv * dv;
+                }
+                // Ties break toward the lexically first label (the
+                // map iterates sorted), keeping results stable.
+                if (!best_label || dist < best) {
+                    best = dist;
+                    best_label = &label;
+                }
+            }
+            ++rep.evaluated;
+            if (best_label && *best_label == runs[i].label)
+                ++rep.correct;
+        }
+    }
+
+    rep.accuracy = rep.evaluated
+                       ? static_cast<double>(rep.correct) /
+                             static_cast<double>(rep.evaluated)
+                       : 0.0;
+    return rep;
+}
+
+double
+jsdCapacityBits(
+    const std::vector<std::vector<std::pair<double, std::uint64_t>>>
+        &class_hists)
+{
+    // Normalize each class histogram over the union bucket set,
+    // then JSD = H(mixture) - mean(H(class)) under a uniform prior.
+    std::vector<std::map<double, double>> dists;
+    for (const auto &h : class_hists) {
+        double total = 0.0;
+        for (const auto &[lo, n] : h)
+            total += static_cast<double>(n);
+        if (total <= 0.0)
+            continue;
+        std::map<double, double> d;
+        for (const auto &[lo, n] : h)
+            d[lo] += static_cast<double>(n) / total;
+        dists.push_back(std::move(d));
+    }
+    if (dists.size() < 2)
+        return 0.0;
+
+    const double prior = 1.0 / static_cast<double>(dists.size());
+    std::map<double, double> mix;
+    for (const auto &d : dists) {
+        for (const auto &[lo, p] : d)
+            mix[lo] += prior * p;
+    }
+    const auto entropy = [](const std::map<double, double> &d) {
+        double h = 0.0;
+        for (const auto &[lo, p] : d) {
+            if (p > 0.0)
+                h -= p * std::log2(p);
+        }
+        return h;
+    };
+    double mean_h = 0.0;
+    for (const auto &d : dists)
+        mean_h += prior * entropy(d);
+    const double jsd = entropy(mix) - mean_h;
+    return jsd > 0.0 ? jsd : 0.0;
+}
+
+} // namespace mgsec::verify

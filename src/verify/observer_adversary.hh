@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ObserverAdversary — leakage analytics over passive wire captures.
+ *
+ * The WireObserver (src/sim) folds what a link probe sees into a
+ * feature vector per run. This module asks the security question:
+ * how much does that vector tell an attacker who wants to know WHAT
+ * the victim is computing? Two complementary estimates:
+ *
+ *  - a workload classifier: z-score-normalized nearest-centroid
+ *    over the timing-shape feature subset, evaluated leave-one-
+ *    seed-out so a run is never classified by centroids that saw
+ *    its own seed. Accuracy far above chance = the wire leaks the
+ *    workload identity.
+ *
+ *  - a channel-capacity proxy: the Jensen-Shannon divergence of the
+ *    class-conditional inter-packet-gap distributions, in bits per
+ *    observed packet. This is the mutual information between the
+ *    class label and one gap draw under a uniform prior — an upper
+ *    bound on what any single-gap classifier can extract, and a
+ *    continuous score that moves even when accuracy saturates.
+ *
+ * The classifier deliberately restricts itself to timing-shape
+ * features (gap/size/burst/control-gap statistics, utilization
+ * shape, fan-out entropy) and ignores absolute volume (total
+ * packets, bytes, duration, rates). Volume is trivially workload-
+ * correlated but is also leaked by any power/thermal side channel;
+ * the interesting question for link shaping is whether the *wire
+ * timing* itself identifies the workload — and whether a shaping
+ * policy can push that back toward chance.
+ */
+
+#ifndef MGSEC_VERIFY_OBSERVER_ADVERSARY_HH
+#define MGSEC_VERIFY_OBSERVER_ADVERSARY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgsec::verify
+{
+
+/** One observed run: class label, seed (the LOSO fold id), and the
+ *  WireObserver feature vector (fixed names, fixed order). */
+struct ObservedRun
+{
+    std::string label;
+    std::uint64_t seed = 0;
+    std::vector<std::pair<std::string, double>> features;
+};
+
+/** Outcome of classifyLeaveOneSeedOut(). */
+struct LeakageReport
+{
+    std::size_t runs = 0;      ///< observations used
+    std::size_t classes = 0;   ///< distinct labels
+    std::size_t evaluated = 0; ///< runs actually scored
+    std::size_t correct = 0;   ///< ... of which classified right
+    double accuracy = 0.0;     ///< correct / evaluated
+    /** Majority-class frequency: the accuracy of the best
+     *  label-blind guesser. accuracy >> chance means leakage. */
+    double chance = 0.0;
+};
+
+/**
+ * True for features the wire-timing classifier may use. Excludes
+ * absolute-volume features (packets, bytes, durationCycles,
+ * pktPerKcyc, busyFrac, utilMeanBytes) — see the file comment.
+ */
+bool timingFeature(const std::string &name);
+
+/** The timing-feature subset of @p run, in feature order. */
+std::vector<double> timingVector(const ObservedRun &run);
+
+/**
+ * Nearest-centroid workload classification, leave-one-seed-out.
+ * Every run whose seed is held out is classified against centroids
+ * built (and z-score normalized) from the remaining seeds only.
+ * With a single distinct seed the fold degenerates to leave-one-
+ * run-out. Runs must share one feature schema; fewer than two
+ * classes yields evaluated == 0.
+ */
+LeakageReport
+classifyLeaveOneSeedOut(const std::vector<ObservedRun> &runs);
+
+/**
+ * Jensen-Shannon divergence, in bits, of class-conditional
+ * distributions. Input: one sparse histogram per class as
+ * (bucket id, count) pairs — bucket ids only need to be consistent
+ * across classes. Empty or single-class input yields 0. Bounded by
+ * log2(#classes).
+ */
+double jsdCapacityBits(
+    const std::vector<std::vector<std::pair<double, std::uint64_t>>>
+        &class_hists);
+
+} // namespace mgsec::verify
+
+#endif // MGSEC_VERIFY_OBSERVER_ADVERSARY_HH

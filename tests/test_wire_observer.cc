@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Wire-level observability tests: the passive observer's dump must be
+ * deterministic run-to-run and across sharded thread counts, the
+ * constant-rate shaping countermeasure must actually impose its
+ * metronome (and emit chaff), the observer-side adversary must
+ * classify separable features and score capacity sanely, and the
+ * flatten/compare helpers must keep duplicate sibling keys apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compare.hh"
+#include "core/experiment.hh"
+#include "core/json_in.hh"
+#include "core/system.hh"
+#include "verify/observer_adversary.hh"
+
+using namespace mgsec;
+using verify::LeakageReport;
+using verify::ObservedRun;
+
+namespace
+{
+
+ExperimentConfig
+quick()
+{
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Dynamic;
+    e.batching = true;
+    e.scale = 0.08;
+    return e;
+}
+
+struct WireRun
+{
+    RunResult result;
+    std::string wire;
+    std::string stats;
+};
+
+WireRun
+runWithObserver(const ExperimentConfig &cfg)
+{
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+    MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+    sys.enableWireObserver();
+    WireRun r;
+    r.result = sys.run();
+    std::ostringstream wire;
+    sys.wireObserver()->writeJson(wire);
+    r.wire = wire.str();
+    std::ostringstream stats;
+    sys.dumpStatsJson(stats);
+    r.stats = stats.str();
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(WireObserver, DumpIsDeterministicPerThreadCount)
+{
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+        ExperimentConfig cfg = quick();
+        cfg.simThreads = threads;
+        const WireRun a = runWithObserver(cfg);
+        const WireRun b = runWithObserver(cfg);
+        ASSERT_TRUE(a.result.completed) << threads;
+        EXPECT_EQ(a.wire, b.wire) << "threads=" << threads;
+    }
+}
+
+TEST(WireObserver, ShardedDumpsAreThreadCountInvariant)
+{
+    ExperimentConfig two = quick();
+    two.simThreads = 2;
+    ExperimentConfig four = quick();
+    four.simThreads = 4;
+    const WireRun a = runWithObserver(two);
+    const WireRun b = runWithObserver(four);
+    ASSERT_TRUE(a.result.completed);
+    // Same sharded kernel, different worker counts: byte-identical.
+    EXPECT_EQ(a.wire, b.wire);
+}
+
+TEST(WireObserver, SerialAndShardedAgreeOnFeatures)
+{
+    ExperimentConfig serial = quick();
+    ExperimentConfig sharded = quick();
+    sharded.simThreads = 2;
+    const WireRun a = runWithObserver(serial);
+    const WireRun b = runWithObserver(sharded);
+
+    JsonValue da, db;
+    std::string err;
+    ASSERT_TRUE(jsonParse(a.wire, da, err)) << err;
+    ASSERT_TRUE(jsonParse(b.wire, db, err)) << err;
+    // The serial and sharded kernels replay the same protocol, so
+    // the packet count matches exactly; wire bytes may drift by a
+    // handful of ACK records whose piggyback window falls on the
+    // other side of a shard boundary.
+    EXPECT_EQ(da.find("packets")->asNumber(),
+              db.find("packets")->asNumber());
+    const double bytes_a = da.find("bytes")->asNumber();
+    const double bytes_b = db.find("bytes")->asNumber();
+    EXPECT_NEAR(bytes_a, bytes_b, 0.001 * bytes_a);
+    const double fa =
+        da.find("features")->find("nvlink.gapMean")->asNumber();
+    const double fb =
+        db.find("features")->find("nvlink.gapMean")->asNumber();
+    EXPECT_NEAR(fa, fb, std::max(1.0, 0.05 * fa));
+}
+
+TEST(WireObserver, ConstantRateImposesMetronomeAndChaff)
+{
+    ExperimentConfig cfg = quick();
+    cfg.shaping = ShapingPolicy::ConstantRate;
+    const WireRun shaped = runWithObserver(cfg);
+    ASSERT_TRUE(shaped.result.completed);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(shaped.wire, doc, err)) << err;
+    const JsonValue *feats = doc.find("features");
+    ASSERT_NE(feats, nullptr);
+
+    // Departures sit on the slot grid and chaff fills idle slots, so
+    // the typical inter-packet gap collapses to about one slot.
+    const double gap = feats->find("nvlink.gapP50")->asNumber();
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LE(gap, static_cast<double>(cfg.shapeInterval) * 2.0);
+
+    // Cover traffic actually flowed, and its stat only exists on
+    // shaped runs (unshaped stat dumps must stay untouched).
+    EXPECT_NE(shaped.stats.find("shapeChaffPackets"),
+              std::string::npos);
+    const WireRun plain = runWithObserver(quick());
+    EXPECT_EQ(plain.stats.find("shapeChaffPackets"),
+              std::string::npos);
+    EXPECT_EQ(plain.stats.find("shapePadBytes"), std::string::npos);
+}
+
+TEST(WireObserver, ConfigKeyShapeSuffixIsConditional)
+{
+    ExperimentConfig plain = quick();
+    EXPECT_EQ(configKey("mm", plain).find("shape="),
+              std::string::npos);
+
+    // Chaff (or any shaping knob) must not disturb unshaped hashes.
+    ExperimentConfig tweaked = quick();
+    tweaked.shapeChaffSlots = 7;
+    EXPECT_EQ(configHash("mm", plain), configHash("mm", tweaked));
+
+    ExperimentConfig shaped = quick();
+    shaped.shaping = ShapingPolicy::ConstantRate;
+    const std::string key = configKey("mm", shaped);
+    EXPECT_NE(key.find("|shape=constant-rate/64/128/96/512"),
+              std::string::npos)
+        << key;
+    shaped.shapeChaffSlots = 7;
+    EXPECT_NE(configHash("mm", quick()), configHash("mm", shaped));
+}
+
+TEST(ObserverAdversary, TimingFeatureAllowlist)
+{
+    EXPECT_TRUE(verify::timingFeature("nvlink.gapMean"));
+    EXPECT_TRUE(verify::timingFeature("pcie.utilCv"));
+    EXPECT_TRUE(verify::timingFeature("fanoutEntropyBits"));
+    // Scale-bound features would let the classifier cheat by just
+    // counting traffic; they stay out of the timing view.
+    EXPECT_FALSE(verify::timingFeature("packets"));
+    EXPECT_FALSE(verify::timingFeature("nvlink.bytes"));
+    EXPECT_FALSE(verify::timingFeature("durationCycles"));
+    EXPECT_FALSE(verify::timingFeature("pcie.busyFrac"));
+    EXPECT_FALSE(verify::timingFeature("nvlink.pktPerKcyc"));
+    // Burst lengths are packets-per-busy-stretch: under continuous
+    // cover traffic they degenerate into a duration proxy.
+    EXPECT_FALSE(verify::timingFeature("nvlink.burstMean"));
+    EXPECT_FALSE(verify::timingFeature("pcie.burstP90"));
+}
+
+namespace
+{
+
+ObservedRun
+synthRun(const std::string &label, std::uint64_t seed, double gap)
+{
+    ObservedRun r;
+    r.label = label;
+    r.seed = seed;
+    r.features = {{"nvlink.gapMean", gap},
+                  {"nvlink.utilCv", gap / 10.0},
+                  {"packets", 1000.0}}; // excluded feature: inert
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(ObserverAdversary, SeparableClassesClassifyPerfectly)
+{
+    std::vector<ObservedRun> runs;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        runs.push_back(synthRun("mm", s, 50.0 + s));
+        runs.push_back(synthRun("fir", s, 500.0 + s));
+    }
+    const LeakageReport rep = verify::classifyLeaveOneSeedOut(runs);
+    EXPECT_EQ(rep.evaluated, 6u);
+    EXPECT_DOUBLE_EQ(rep.accuracy, 1.0);
+    EXPECT_DOUBLE_EQ(rep.chance, 0.5);
+}
+
+TEST(ObserverAdversary, IndistinguishableClassesFallToChance)
+{
+    std::vector<ObservedRun> runs;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        runs.push_back(synthRun("mm", s, 64.0));
+        runs.push_back(synthRun("fir", s, 64.0));
+    }
+    const LeakageReport rep = verify::classifyLeaveOneSeedOut(runs);
+    EXPECT_EQ(rep.evaluated, 6u);
+    EXPECT_LE(rep.accuracy, rep.chance);
+}
+
+TEST(ObserverAdversary, JsdCapacityBounds)
+{
+    using Hist = std::vector<std::pair<double, std::uint64_t>>;
+    const Hist a = {{0.0, 10}, {64.0, 20}};
+    // Identical class-conditional distributions carry zero bits.
+    EXPECT_NEAR(verify::jsdCapacityBits({a, a}), 0.0, 1e-12);
+    // Fully disjoint ones carry exactly log2(2) = 1 bit.
+    const Hist b = {{128.0, 15}};
+    EXPECT_NEAR(verify::jsdCapacityBits({a, b}), 1.0, 1e-12);
+}
+
+TEST(CompareFlatten, DuplicateSiblingKeysStayDistinct)
+{
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(
+        R"({"gpu":{"stats":{"x":1},"stats":{"x":2},"y":3}})", doc,
+        err))
+        << err;
+    std::vector<std::pair<std::string, double>> leaves;
+    flatten(doc, "", leaves);
+    ASSERT_EQ(leaves.size(), 3u);
+    // First occurrence keeps the historical path; later ones get an
+    // occurrence suffix instead of silently colliding.
+    EXPECT_EQ(leaves[0].first, "gpu.stats.x");
+    EXPECT_EQ(leaves[0].second, 1.0);
+    EXPECT_EQ(leaves[1].first, "gpu.stats#2.x");
+    EXPECT_EQ(leaves[1].second, 2.0);
+    EXPECT_EQ(leaves[2].first, "gpu.y");
+}
+
+TEST(CompareFlatten, CompareSeesChangesInLaterDuplicates)
+{
+    JsonValue oldDoc, newDoc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(R"({"s":{"v":10},"s":{"v":100}})", oldDoc,
+                          err));
+    ASSERT_TRUE(jsonParse(R"({"s":{"v":10},"s":{"v":150}})", newDoc,
+                          err));
+    CompareStats cs;
+    compareDocs(oldDoc, newDoc, "", 5.0, {}, cs);
+    // Before the occurrence suffix the second "s" shadowed the
+    // first on one side only, yielding phantom flags; now exactly
+    // the changed leaf trips.
+    EXPECT_EQ(cs.checked, 2u);
+    EXPECT_EQ(cs.onlyOld, 0u);
+    EXPECT_EQ(cs.onlyNew, 0u);
+    ASSERT_EQ(cs.flagged.size(), 1u);
+    EXPECT_EQ(cs.flagged[0].path, "s#2.v");
+    EXPECT_DOUBLE_EQ(cs.flagged[0].oldVal, 100.0);
+    EXPECT_DOUBLE_EQ(cs.flagged[0].newVal, 150.0);
+}

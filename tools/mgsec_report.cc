@@ -7,12 +7,21 @@
  * JSON dump, or from every run indexed in an --observe directory.
  *
  * Compare mode (--compare OLD NEW): flatten every numeric leaf of
- * both documents into dotted paths, flag any value that moved by
- * more than --threshold percent, and write a machine-readable
- * BENCH_report.json verdict. Exit status 1 when the gate trips, so
- * CI can use it directly as a regression gate.
+ * both documents into dotted paths (core/compare.hh), flag any value
+ * that moved by more than --threshold percent, and write a
+ * machine-readable BENCH_report.json verdict. Exit status 1 when the
+ * gate trips, so CI can use it directly as a regression gate.
+ *
+ * Leakage mode: an --observe directory whose runs carry WIRE_*.json
+ * wire-observer dumps additionally gets a "leakage" section — per
+ * configuration signature and shaping policy, the wire-timing
+ * workload classifier's accuracy (src/verify/observer_adversary.hh),
+ * the gap-distribution channel capacity, and the time/traffic cost
+ * of the policy relative to the unshaped runs: the leakage-vs-
+ * overhead frontier. --leakage-json FILE writes it machine-readably.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -24,12 +33,15 @@
 #include <string>
 #include <vector>
 
+#include "core/compare.hh"
 #include "core/json_in.hh"
 #include "sim/json_writer.hh"
+#include "verify/observer_adversary.hh"
 
 namespace
 {
 
+using mgsec::CompareStats;
 using mgsec::JsonValue;
 
 int
@@ -54,7 +66,11 @@ usage(const char *argv0, int status)
        << "  --ignore SUBSTR    skip paths containing SUBSTR "
        << "(repeatable;\n"
        << "                     wall-clock rates are always "
-       << "ignored)\n";
+       << "ignored)\n"
+       << "  --leakage-json FILE  also write the leakage/frontier "
+       << "section as JSON\n"
+       << "                     (report mode on an --observe "
+       << "directory with WIRE files)\n";
     return status;
 }
 
@@ -191,96 +207,283 @@ loadIndex(const std::string &dir,
 }
 
 /**
- * Flatten every numeric leaf into (dotted path, value). Histogram
- * bucket arrays are skipped: any bucket movement also moves the
- * count/percentile summary fields, and path-per-bucket noise would
- * drown the report.
+ * @name Leakage section
+ * Built from the WIRE_*.json dumps of an --observe directory. Runs
+ * are grouped by configuration signature (configKey minus its
+ * workload, seed and shape segments) x shaping policy; within a
+ * group the workload is the class label and the seed the LOSO fold.
  */
-void
-flatten(const JsonValue &v, const std::string &path,
-        std::vector<std::pair<std::string, double>> &out)
+/// @{
+
+/** One observed run with everything the frontier table needs. */
+struct LeakRun
 {
-    switch (v.kind) {
-      case JsonValue::Kind::Number:
-        out.emplace_back(path, v.number);
-        break;
-      case JsonValue::Kind::Object:
-        for (const auto &[k, child] : v.fields) {
-            if (k == "buckets")
-                continue;
-            flatten(child, path.empty() ? k : path + "." + k, out);
+    std::string hash;
+    std::string workload;
+    std::string shape = "none";
+    std::string signature; ///< configKey minus workload/seed/shape
+    std::uint64_t seed = 0;
+    double bytes = 0.0;
+    double duration = 0.0;
+    mgsec::verify::ObservedRun obs;
+    /** pcie+nvlink merged inter-packet-gap buckets (lo -> count). */
+    std::map<double, std::uint64_t> gapBuckets;
+};
+
+/** Split a configKey into workload/seed/shape and the signature. */
+void
+parseConfigKey(const std::string &key, LeakRun &run)
+{
+    std::string signature;
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos <= key.size()) {
+        const std::size_t bar = key.find('|', pos);
+        const std::string seg = key.substr(
+            pos,
+            bar == std::string::npos ? std::string::npos : bar - pos);
+        if (first) {
+            run.workload = seg;
+            first = false;
+        } else if (seg.rfind("seed=", 0) == 0) {
+            run.seed = std::strtoull(seg.c_str() + 5, nullptr, 10);
+        } else if (seg.rfind("shape=", 0) == 0) {
+            // "constant-rate/64/128/96" -> policy name only
+            const std::string v = seg.substr(6);
+            const std::size_t slash = v.find('/');
+            run.shape = slash == std::string::npos
+                            ? v
+                            : v.substr(0, slash);
+        } else {
+            if (!signature.empty())
+                signature += "|";
+            signature += seg;
         }
-        break;
-      case JsonValue::Kind::Array:
-        for (std::size_t i = 0; i < v.items.size(); ++i)
-            flatten(v.items[i],
-                    path + "[" + std::to_string(i) + "]", out);
-        break;
-      default:
-        break;
+        if (bar == std::string::npos)
+            break;
+        pos = bar + 1;
+    }
+    run.signature = signature;
+}
+
+/** Accumulate a histogram object's [lo, count] buckets into @p out. */
+void
+addGapBuckets(const JsonValue *hist,
+              std::map<double, std::uint64_t> &out)
+{
+    const JsonValue *buckets = hist ? hist->find("buckets") : nullptr;
+    if (!buckets || !buckets->isArray())
+        return;
+    for (const JsonValue &b : buckets->items) {
+        if (b.isArray() && b.items.size() == 2)
+            out[b.items[0].asNumber()] += static_cast<std::uint64_t>(
+                b.items[1].asNumber());
     }
 }
 
-struct Flagged
-{
-    std::string path;
-    double oldVal, newVal, deltaPct;
-};
-
-struct CompareStats
-{
-    std::uint64_t checked = 0;
-    std::uint64_t onlyOld = 0;
-    std::uint64_t onlyNew = 0;
-    std::vector<Flagged> flagged;
-};
-
+/** Load WIRE_<hash>.json into @p run. False when absent/invalid. */
 bool
-ignored(const std::string &path,
-        const std::vector<std::string> &ignores)
+loadWire(const std::string &dir, const std::string &hash,
+         const std::string &key, LeakRun &run)
 {
-    for (const std::string &s : ignores) {
-        if (path.find(s) != std::string::npos)
-            return true;
+    JsonValue doc;
+    std::string err;
+    if (!mgsec::jsonParseFile(dir + "/WIRE_" + hash + ".json", doc,
+                              err))
+        return false;
+    run.hash = hash;
+    parseConfigKey(key, run);
+    run.bytes = num(doc, "bytes");
+    run.duration = num(doc, "durationCycles");
+    run.obs.label = run.workload;
+    run.obs.seed = run.seed;
+    const JsonValue *features = doc.find("features");
+    if (!features || !features->isObject())
+        return false;
+    for (const auto &[name, v] : features->fields)
+        run.obs.features.emplace_back(name, v.asNumber());
+    if (const JsonValue *links = doc.find("links")) {
+        for (const char *link : kLinks)
+            if (const JsonValue *cls = links->find(link))
+                addGapBuckets(cls->find("gap"), run.gapBuckets);
     }
-    return false;
+    return true;
 }
 
-void
-compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
-            const std::string &prefix, double threshold,
-            const std::vector<std::string> &ignores,
-            CompareStats &cs)
+/** One frontier row: a (signature, shape) cell's scores. */
+struct FrontierRow
 {
-    std::vector<std::pair<std::string, double>> a, b;
-    flatten(oldDoc, prefix, a);
-    flatten(newDoc, prefix, b);
-    std::map<std::string, double> bmap(b.begin(), b.end());
-    std::set<std::string> matched;
-    for (const auto &[path, ov] : a) {
-        if (ignored(path, ignores))
-            continue;
-        auto it = bmap.find(path);
-        if (it == bmap.end()) {
-            ++cs.onlyOld;
-            continue;
-        }
-        matched.insert(path);
-        ++cs.checked;
-        const double nv = it->second;
-        double delta = 0.0;
-        if (ov != 0.0)
-            delta = (nv - ov) / std::fabs(ov) * 100.0;
-        else if (nv != 0.0)
-            delta = nv > 0 ? 1e9 : -1e9; // appeared from zero
-        if (std::fabs(delta) > threshold)
-            cs.flagged.push_back(Flagged{path, ov, nv, delta});
-    }
-    for (const auto &[path, nv] : b) {
-        if (!ignored(path, ignores) && !matched.count(path))
-            ++cs.onlyNew;
-    }
+    std::string shape;
+    mgsec::verify::LeakageReport rep;
+    double capacityBits = 0.0;
+    double timeX = 1.0;    ///< mean duration vs the unshaped runs
+    double trafficX = 1.0; ///< mean bytes vs the unshaped runs
+    bool hasOverhead = false;
+};
+
+/** "none" sorts first so every table leads with the baseline. */
+bool
+shapeBefore(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return false;
+    if (a == "none")
+        return true;
+    if (b == "none")
+        return false;
+    return a < b;
 }
+
+std::vector<FrontierRow>
+frontierRows(const std::vector<const LeakRun *> &group)
+{
+    // Partition by shape.
+    std::map<std::string, std::vector<const LeakRun *>> by_shape;
+    for (const LeakRun *r : group)
+        by_shape[r->shape].push_back(r);
+    const auto *none_runs = by_shape.count("none")
+                                ? &by_shape.at("none")
+                                : nullptr;
+
+    std::vector<FrontierRow> rows;
+    for (const auto &[shape, runs] : by_shape) {
+        FrontierRow row;
+        row.shape = shape;
+
+        std::vector<mgsec::verify::ObservedRun> obs;
+        std::map<std::string,
+                 std::map<double, std::uint64_t>> class_gaps;
+        for (const LeakRun *r : runs) {
+            obs.push_back(r->obs);
+            for (const auto &[lo, n] : r->gapBuckets)
+                class_gaps[r->workload][lo] += n;
+        }
+        row.rep = mgsec::verify::classifyLeaveOneSeedOut(obs);
+        std::vector<std::vector<std::pair<double, std::uint64_t>>>
+            hists;
+        for (const auto &[wl, buckets] : class_gaps)
+            hists.emplace_back(buckets.begin(), buckets.end());
+        row.capacityBits = mgsec::verify::jsdCapacityBits(hists);
+
+        // Overhead vs the matching unshaped (workload, seed) runs.
+        if (none_runs) {
+            double time_sum = 0.0, traf_sum = 0.0;
+            std::size_t matches = 0;
+            for (const LeakRun *r : runs) {
+                for (const LeakRun *base : *none_runs) {
+                    if (base->workload != r->workload ||
+                        base->seed != r->seed)
+                        continue;
+                    if (base->duration > 0.0 && base->bytes > 0.0) {
+                        time_sum += r->duration / base->duration;
+                        traf_sum += r->bytes / base->bytes;
+                        ++matches;
+                    }
+                    break;
+                }
+            }
+            if (matches) {
+                row.timeX = time_sum / static_cast<double>(matches);
+                row.trafficX =
+                    traf_sum / static_cast<double>(matches);
+                row.hasOverhead = true;
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const FrontierRow &a, const FrontierRow &b) {
+                  return shapeBefore(a.shape, b.shape);
+              });
+    return rows;
+}
+
+/**
+ * Print the leakage section (and optionally write it as JSON) from
+ * an observe directory's indexed WIRE dumps. Returns false only on
+ * a write failure of @p jsonOut.
+ */
+bool
+reportLeakage(
+    const std::string &dir,
+    const std::vector<std::pair<std::string, std::string>> &idx,
+    const std::string &jsonOut)
+{
+    std::vector<LeakRun> runs;
+    for (const auto &[hash, key] : idx) {
+        LeakRun run;
+        if (loadWire(dir, hash, key, run))
+            runs.push_back(std::move(run));
+    }
+    if (runs.empty())
+        return true; // no WIRE dumps -> no section
+
+    std::map<std::string, std::vector<const LeakRun *>> groups;
+    for (const LeakRun &r : runs)
+        groups[r.signature].push_back(&r);
+
+    std::printf("\n== leakage (passive wire observer) ==\n");
+    std::printf("classifier: nearest-centroid, leave-one-seed-out, "
+                "timing-shape features only\n");
+    for (const auto &[signature, group] : groups) {
+        const auto rows = frontierRows(group);
+        std::printf("\nconfig: %s\n", signature.c_str());
+        std::printf("  %-15s %5s %4s %7s %7s %10s %7s %7s\n",
+                    "shape", "runs", "cls", "acc", "chance",
+                    "cap(bits)", "timeX", "trafX");
+        for (const FrontierRow &r : rows) {
+            std::printf(
+                "  %-15s %5zu %4zu %7.3f %7.3f %10.3f %7.3f %7.3f\n",
+                r.shape.c_str(), r.rep.runs, r.rep.classes,
+                r.rep.accuracy, r.rep.chance, r.capacityBits,
+                r.timeX, r.trafficX);
+        }
+    }
+
+    if (jsonOut.empty())
+        return true;
+    std::ofstream os(jsonOut);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", jsonOut.c_str());
+        return false;
+    }
+    mgsec::JsonWriter w(os);
+    w.beginObject();
+    w.field("classifier",
+            std::string("nearest-centroid-loso-timing"));
+    w.beginArray("groups");
+    for (const auto &[signature, group] : groups) {
+        w.beginObject();
+        w.field("signature", signature);
+        w.beginArray("rows");
+        for (const FrontierRow &r : frontierRows(group)) {
+            w.beginObject();
+            w.field("shape", r.shape);
+            w.field("runs", static_cast<std::uint64_t>(r.rep.runs));
+            w.field("classes",
+                    static_cast<std::uint64_t>(r.rep.classes));
+            w.field("evaluated",
+                    static_cast<std::uint64_t>(r.rep.evaluated));
+            w.field("correct",
+                    static_cast<std::uint64_t>(r.rep.correct));
+            w.field("accuracy", r.rep.accuracy);
+            w.field("chance", r.rep.chance);
+            w.field("capacityBits", r.capacityBits);
+            w.field("timeX", r.timeX);
+            w.field("trafficX", r.trafficX);
+            w.field("hasOverhead", r.hasOverhead);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return true;
+}
+
+/// @}
 
 /**
  * The per-thread-count speedups of a document's "simThreads" bench
@@ -317,6 +520,7 @@ main(int argc, char **argv)
     };
     double threshold = 10.0;
     std::string outPath = "BENCH_report.json";
+    std::string leakageJson;
     bool compare = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -343,6 +547,8 @@ main(int argc, char **argv)
             outPath = value();
         } else if (arg == "--ignore") {
             ignores.push_back(value());
+        } else if (arg == "--leakage-json") {
+            leakageJson = value();
         } else if (arg == "--stats-json" || arg == "--observe") {
             inputs.push_back(value());
         } else if (!arg.empty() && arg[0] == '-') {
@@ -402,6 +608,14 @@ main(int argc, char **argv)
             any |= reportDocument(doc, name.empty() ? inputs[0]
                                                     : name);
         }
+        if (isObserveDir(inputs[0])) {
+            std::vector<std::pair<std::string, std::string>> idx;
+            if (loadIndex(inputs[0], idx)) {
+                if (!reportLeakage(inputs[0], idx, leakageJson))
+                    return 2;
+                any = true;
+            }
+        }
         return any ? 0 : 2;
     }
 
@@ -435,7 +649,8 @@ main(int argc, char **argv)
             ++cs.onlyOld;
             continue;
         }
-        compareDocs(oldDoc, *newDoc, name, threshold, ignores, cs);
+        mgsec::compareDocs(oldDoc, *newDoc, name, threshold, ignores,
+                           cs);
 
         const auto oldSp = simThreadsSpeedups(oldDoc);
         const auto newSp = simThreadsSpeedups(*newDoc);
@@ -458,7 +673,7 @@ main(int argc, char **argv)
                 threshold, cs.flagged.size(),
                 static_cast<unsigned long long>(cs.onlyOld),
                 static_cast<unsigned long long>(cs.onlyNew));
-    for (const Flagged &f : cs.flagged)
+    for (const mgsec::FlaggedLeaf &f : cs.flagged)
         std::printf("  %-50s %14g -> %14g  (%+.2f%%)\n",
                     f.path.c_str(), f.oldVal, f.newVal, f.deltaPct);
 
@@ -484,7 +699,7 @@ main(int argc, char **argv)
     w.field("onlyOld", cs.onlyOld);
     w.field("onlyNew", cs.onlyNew);
     w.beginArray("flagged");
-    for (const Flagged &f : cs.flagged) {
+    for (const mgsec::FlaggedLeaf &f : cs.flagged) {
         w.beginObject();
         w.field("path", f.path);
         w.field("old", f.oldVal);

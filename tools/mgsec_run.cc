@@ -17,6 +17,7 @@
 #include "core/options.hh"
 #include "core/report.hh"
 #include "core/system.hh"
+#include "sim/json_writer.hh"
 #include "workload/trace_io.hh"
 
 using namespace mgsec;
@@ -26,6 +27,8 @@ main(int argc, char **argv)
 {
     RunOptions opts;
     if (!opts.parse(argc, argv))
+        return 1;
+    if (!opts.finalizeObservability())
         return 1;
 
     const double scale = opts.exp.strongScaling
@@ -140,5 +143,35 @@ main(int argc, char **argv)
     if (!obs.statsJsonOut.empty())
         std::cout << "stats JSON written to " << obs.statsJsonOut
                   << "\n";
+    if (!obs.wireOut.empty())
+        std::cout << "wire observer written to " << obs.wireOut
+                  << "\n";
+
+    if (!opts.observeDir.empty()) {
+        // Single-entry manifest in the same schema mgsec_sweep
+        // emits, so mgsec_report can consume either directory.
+        const std::string path =
+            opts.observeDir + "/OBSERVE_INDEX.json";
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "cannot write " << path << "\n";
+            return 1;
+        }
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("interval", static_cast<std::uint64_t>(
+                                obs.metricsInterval));
+        w.key("runs");
+        w.beginArray();
+        w.beginObject();
+        w.field("hash", configHash(opts.workload, opts.exp));
+        w.field("key", configKey(opts.workload, opts.exp));
+        w.endObject();
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        std::cout << "observability bundle in " << opts.observeDir
+                  << "\n";
+    }
     return 0;
 }
