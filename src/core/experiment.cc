@@ -37,6 +37,7 @@ makeSystemConfig(const ExperimentConfig &cfg)
     sys.cpu.memProtect.enabled = cfg.hostMemProtect < 0
                                      ? cfg.scheme != OtpScheme::Unsecure
                                      : cfg.hostMemProtect != 0;
+    sys.topology = cfg.topology;
     sys.observe = cfg.observe;
     return sys;
 }
@@ -81,6 +82,21 @@ configKey(const std::string &workload, const ExperimentConfig &cfg)
             static_cast<unsigned long long>(cfg.shapeJitter),
             cfg.shapeChaffSlots);
     }
+    // Same contract for the fabric: p2p (the paper's machine) keeps
+    // the historical key.
+    if (cfg.topology.kind != TopologyKind::P2p) {
+        key += strformat(
+            "|topo=%s/%u/%llu/%g/%u/%llu/%g",
+            topologyKindName(cfg.topology.kind),
+            cfg.topology.switchRadix,
+            static_cast<unsigned long long>(
+                cfg.topology.switchLatency),
+            cfg.topology.switchBytesPerCycle,
+            cfg.topology.gpusPerNode,
+            static_cast<unsigned long long>(
+                cfg.topology.interLatency),
+            cfg.topology.interBytesPerCycle);
+    }
     return key;
 }
 
@@ -101,7 +117,8 @@ runWorkload(const std::string &workload, const ExperimentConfig &cfg)
 {
     double scale = cfg.scale;
     if (cfg.strongScaling && cfg.numGpus != 0)
-        scale *= 4.0 / static_cast<double>(cfg.numGpus);
+        scale *= static_cast<double>(kScalingBaselineGpus) /
+                 static_cast<double>(cfg.numGpus);
     const WorkloadProfile profile =
         makeProfile(workload, scale, cfg.numGpus);
     MultiGpuSystem sys(makeSystemConfig(cfg), profile);

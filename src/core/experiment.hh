@@ -48,9 +48,17 @@ struct ExperimentConfig
 
     /**
      * The paper keeps the problem size fixed when growing the GPU
-     * count (Sec. V-D), so per-GPU work shrinks as 4/numGpus.
+     * count (Sec. V-D), so per-GPU work shrinks as
+     * kScalingBaselineGpus/numGpus.
      */
     bool strongScaling = true;
+
+    /**
+     * Fabric topology plus its knobs (SystemConfig::topology). Joins
+     * configKey only when the kind is not the default p2p, so every
+     * pre-existing configuration keeps its hash.
+     */
+    TopologyConfig topology{};
 
     /**
      * Traffic-shaping countermeasure (SecurityConfig::shaping) plus

@@ -214,6 +214,26 @@ RunOptions::set(const std::string &key, const std::string &value)
     } else if (key == "shape-chaff") {
         if ((ok = parseNumber(value, 0ULL, 1ULL << 20, u)))
             exp.shapeChaffSlots = static_cast<std::uint32_t>(u);
+    } else if (key == "topology") {
+        ok = parseTopologyKind(value, exp.topology.kind);
+    } else if (key == "switch-radix") {
+        if ((ok = parseNumber(value, 1ULL, 1024ULL, u)))
+            exp.topology.switchRadix = static_cast<std::uint32_t>(u);
+    } else if (key == "switch-latency") {
+        if ((ok = parseNumber(value, 0ULL, 1ULL << 32, u)))
+            exp.topology.switchLatency = u;
+    } else if (key == "switch-bw") {
+        if ((ok = parseNumber(value, 1e-3, 1e6, d)))
+            exp.topology.switchBytesPerCycle = d;
+    } else if (key == "gpus-per-node") {
+        if ((ok = parseNumber(value, 1ULL, 256ULL, u)))
+            exp.topology.gpusPerNode = static_cast<std::uint32_t>(u);
+    } else if (key == "inter-latency") {
+        if ((ok = parseNumber(value, 0ULL, 1ULL << 32, u)))
+            exp.topology.interLatency = u;
+    } else if (key == "inter-bw") {
+        if ((ok = parseNumber(value, 1e-3, 1e6, d)))
+            exp.topology.interBytesPerCycle = d;
     } else if (key == "crypto-impl") {
         ok = crypto::parseCryptoImpl(value, exp.cryptoImpl);
     } else if (key == "sim-threads") {
@@ -387,6 +407,20 @@ RunOptions::usage(std::ostream &os)
           "full-mesh chaff until a\n"
           "                         node idles N slots "
           "(0 = off; default 512)\n"
+          "  --topology T           fabric: p2p|nvswitch|hier "
+          "(default p2p, the paper's machine)\n"
+          "  --switch-radix N       max GPUs per crossbar "
+          "(default 64)\n"
+          "  --switch-latency C     crossbar traversal in cycles "
+          "(default 60)\n"
+          "  --switch-bw F          switch egress port bytes/cycle "
+          "(default 50)\n"
+          "  --gpus-per-node N      hier: GPUs per fabric node "
+          "(default 8)\n"
+          "  --inter-latency C      hier: trunk crossing in cycles "
+          "(default 300)\n"
+          "  --inter-bw F           hier: trunk port bytes/cycle "
+          "(default 25)\n"
           "  --crypto-impl I        host crypto tier: auto|portable|"
           "simd (bit-identical results)\n"
           "  --sim-threads N        event-kernel worker threads "

@@ -52,6 +52,9 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
     if (acceptWorkloads)
         os << "  --workloads W[,W...]  restrict the matrix to these "
            << "workloads (default all)\n";
+    if (acceptTopology)
+        os << "  --topology T  fabric for every run: p2p|nvswitch|"
+           << "hier (default p2p)\n";
     os << "  --crypto-impl I  host crypto tier auto|portable|simd "
        << "(bit-identical results)\n"
        << "  --sim-threads N  event-kernel worker threads per run "
@@ -148,6 +151,10 @@ SweepArgs::parseArgs(int argc, char **argv)
             }
             if (workloads.empty())
                 die("bad --workloads value '%s'", argv[i]);
+        } else if (acceptTopology &&
+                   std::strcmp(arg, "--topology") == 0) {
+            if (!parseTopologyKind(value(i), topology.kind))
+                die("bad --topology value '%s'", argv[i]);
         } else if (std::strcmp(arg, "--crypto-impl") == 0) {
             if (!crypto::parseCryptoImpl(value(i), cryptoImpl))
                 die("bad --crypto-impl value '%s'", argv[i]);
@@ -204,7 +211,26 @@ baselineKey(const std::string &workload, const ExperimentConfig &cfg)
                   cfg.strongScaling ? 1 : 0,
                   static_cast<unsigned long long>(
                       cfg.commSampleInterval));
-    return workload + buf;
+    std::string key = workload + buf;
+    // The fabric changes an unsecure run's timing, so non-default
+    // topologies get their own memoized baselines; p2p keeps the
+    // historical key.
+    if (cfg.topology.kind != TopologyKind::P2p) {
+        char tb[96];
+        std::snprintf(tb, sizeof(tb), "|t%s/%u/%llu/%.17g/%u/%llu/"
+                                      "%.17g",
+                      topologyKindName(cfg.topology.kind),
+                      cfg.topology.switchRadix,
+                      static_cast<unsigned long long>(
+                          cfg.topology.switchLatency),
+                      cfg.topology.switchBytesPerCycle,
+                      cfg.topology.gpusPerNode,
+                      static_cast<unsigned long long>(
+                          cfg.topology.interLatency),
+                      cfg.topology.interBytesPerCycle);
+        key += tb;
+    }
+    return key;
 }
 
 } // anonymous namespace

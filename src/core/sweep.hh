@@ -57,6 +57,14 @@ struct SweepArgs
     std::vector<std::string> workloads;
 
     /**
+     * Fabric for every queued run (--topology, parsed only when
+     * acceptTopology; switch/fabric knobs keep their defaults).
+     * Benches apply it to the configs they queue; the default p2p
+     * keeps the historical matrix byte-identical.
+     */
+    TopologyConfig topology{};
+
+    /**
      * Host crypto tier for every queued run (--crypto-impl). Speed
      * knob only; any setting produces bit-identical sweep output.
      */
@@ -76,6 +84,7 @@ struct SweepArgs
     bool acceptObserve = false;
     bool acceptShape = false;
     bool acceptWorkloads = false;
+    bool acceptTopology = false;
 
     /**
      * Parse argv into *this (current members are the defaults).

@@ -86,7 +86,7 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     }
 
     net_ = std::make_unique<Network>("net", eq_, n, cfg_.pcie,
-                                     cfg_.nvlink);
+                                     cfg_.nvlink, cfg_.topology);
     pt_ = std::make_unique<PageTable>("pt", eq_, cfg_.pageTable, n);
     if (sharded()) {
         net_->setParallelCapture(true);
@@ -374,7 +374,7 @@ MultiGpuSystem::enableMetrics(Cycles interval, std::size_t capacity)
         // histogram accumulated so far (call enableAttribution()
         // first, as openObservability() does).
         const LatencyAttribution *attr = attr_.get();
-        for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+        for (std::size_t l = 0; l < attr_->numLinks(); ++l) {
             const LinkType link = static_cast<LinkType>(l);
             const std::string base =
                 std::string("attr.") + linkTypeName(link);
@@ -417,7 +417,8 @@ MultiGpuSystem::enableAttribution()
 {
     MGSEC_ASSERT(!attr_, "attribution already enabled");
     attr_ = std::make_unique<LatencyAttribution>(
-        otpSchemeName(cfg_.security.scheme));
+        otpSchemeName(cfg_.security.scheme),
+        net_->topology().numLinkClasses());
     eq_.setAttribution(attr_.get());
     if (sharded()) {
         // One shared collector across every domain, folding under an
@@ -436,6 +437,22 @@ MultiGpuSystem::enableWireObserver()
     if (wire_)
         return;
     wire_ = std::make_unique<WireObserver>(cfg_.numNodes());
+    if (cfg_.topology.kind != TopologyKind::P2p) {
+        // Tag flows with the fabric's own link classes; the default
+        // pcie/nvlink split already matches the p2p fabric, and
+        // leaving it untouched keeps p2p WIRE artifacts
+        // byte-identical.
+        const Topology *topo = &net_->topology();
+        std::vector<std::string> names;
+        for (std::size_t l = 0; l < topo->numLinkClasses(); ++l)
+            names.emplace_back(
+                linkTypeName(static_cast<LinkType>(l)));
+        wire_->setLinkClasses(
+            std::move(names), [topo](NodeId src, NodeId dst) {
+                return static_cast<std::size_t>(
+                    topo->linkType(src, dst));
+            });
+    }
     net_->setWireObserver(wire_.get());
 }
 
@@ -556,8 +573,8 @@ MultiGpuSystem::runParallel()
         kc.domains.push_back(d.get());
     kc.threads = sim_threads_;
     // Conservative lookahead: no domain can affect another sooner
-    // than the fastest cross-domain wire.
-    kc.lookahead = std::min(cfg_.pcie.latency, cfg_.nvlink.latency);
+    // than the fastest cross-domain wire of the selected fabric.
+    kc.lookahead = net_->topology().minLatency();
     kc.maxCycles = cfg_.maxCycles;
     kc.done = [this]() { return done_gpus_ >= cfg_.numGpus; };
     kc.exchange = [this]() {
@@ -650,6 +667,17 @@ MultiGpuSystem::run()
                eq_.now() <= cfg_.maxCycles) {
             if (!eq_.runOne())
                 break;
+        }
+        if (net_->canonicalWireOrder() &&
+            done_gpus_ >= cfg_.numGpus) {
+            // The sharded kernel only polls the done flag at window
+            // boundaries, so it always finishes the lookahead window
+            // that completed the workload. Run the serial queue to
+            // that same boundary so end-of-run timers (ACK deadline
+            // flushes) fire in both kernels or in neither — without
+            // this the two disagree on trailing control traffic.
+            const Tick L = net_->topology().minLatency();
+            eq_.run(eq_.now() / L * L + L - 1);
         }
     }
     flushObservability();

@@ -84,6 +84,14 @@ struct SystemConfig
     LinkParams pcie{12.0, 500};
     LinkParams nvlink{18.0, 100};
 
+    /**
+     * Fabric topology carrying the links above (net/topology.hh).
+     * The default p2p fabric reproduces the paper's target system
+     * byte-identically; nvswitch/hier model the scale-out machines
+     * of the 8/16/64-GPU studies.
+     */
+    TopologyConfig topology{};
+
     NodeParams gpu{
         HbmParams{512.0, 120},
         CacheParams{2 * 1024 * 1024, 16, kBlockBytes, 20},

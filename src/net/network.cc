@@ -14,16 +14,22 @@ namespace mgsec
 Network::Network(const std::string &name, EventQueue &eq,
                  std::uint32_t num_nodes, LinkParams pcie,
                  LinkParams nvlink)
+    : Network(name, eq, num_nodes, pcie, nvlink, TopologyConfig{})
+{
+}
+
+Network::Network(const std::string &name, EventQueue &eq,
+                 std::uint32_t num_nodes, LinkParams pcie,
+                 LinkParams nvlink, const TopologyConfig &topo)
     : SimObject(name, eq), num_nodes_(num_nodes), pcie_(pcie),
-      nvlink_(nvlink), handlers_(num_nodes),
+      nvlink_(nvlink),
+      topo_(makeTopology(topo, num_nodes, pcie, nvlink)),
+      handlers_(num_nodes),
       pair_bytes_(static_cast<std::size_t>(num_nodes) * num_nodes,
                   0.0)
 {
     MGSEC_ASSERT(num_nodes_ >= 2, "need a CPU and at least one GPU");
-    nv_egress_.assign(num_nodes_, Serializer(nvlink_.bytesPerCycle));
-    nv_ingress_.assign(num_nodes_, Serializer(nvlink_.bytesPerCycle));
-    pcie_down_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
-    pcie_up_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
+    canonical_order_ = topo.kind != TopologyKind::P2p;
     regStat(packets_);
     for (auto &s : class_bytes_)
         regStat(s);
@@ -44,7 +50,12 @@ Network::deliver(Tick when, PacketPtr pkt, EventQueue &eq)
     // still queued returns its in-flight packets to the pool instead
     // of leaking them.
     ++in_flight_;
-    eq.schedule(when, [this, p = std::move(pkt)]() mutable {
+    // On canonical-order fabrics the delivery's place among the
+    // arrival tick's events must not depend on when it was scheduled
+    // (send tick under the serial kernel, window barrier under the
+    // sharded one) — kPriWire pins deliveries ahead of local work.
+    const EventPri pri = canonical_order_ ? kPriWire : kPriNormal;
+    eq.schedule(when, pri, [this, p = std::move(pkt)]() mutable {
         --in_flight_;
         MGSEC_ASSERT(handlers_[p->dst] != nullptr,
                      "no handler for node %u", p->dst);
@@ -121,7 +132,41 @@ Network::send(PacketPtr pkt)
         lanes_[lane].push_back(CapturedSend{std::move(pkt), send_tick});
         return;
     }
+    if (canonical_order_) {
+        // Switch-based fabric under the serial kernel: defer the
+        // wire crossing to a same-tick flush so shared-port
+        // reservations happen in the replay sort's (src, dst)
+        // order, not event-scheduling order. Nothing in the system
+        // schedules zero-delay events, so every send at this tick
+        // lands in one batch: the flush event, scheduled during the
+        // tick's first send, outsequences every already-pending
+        // event at this tick.
+        tick_pending_.push_back(CapturedSend{std::move(pkt), now()});
+        if (!flush_scheduled_) {
+            flush_scheduled_ = true;
+            eventq().schedule(now(), [this] { flushTick(); });
+        }
+        return;
+    }
     sendOnWire(std::move(pkt), now(), eventq());
+}
+
+void
+Network::flushTick()
+{
+    flush_scheduled_ = false;
+    std::vector<CapturedSend> batch;
+    batch.swap(tick_pending_);
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const CapturedSend &a, const CapturedSend &b) {
+                         if (a.pkt->src != b.pkt->src)
+                             return a.pkt->src < b.pkt->src;
+                         return a.pkt->dst < b.pkt->dst;
+                     });
+    for (CapturedSend &c : batch) {
+        MGSEC_ASSERT(c.sendTick == now(), "flush crossed a tick");
+        sendOnWire(std::move(c.pkt), c.sendTick, eventq());
+    }
 }
 
 void
@@ -153,21 +198,9 @@ Network::sendOnWire(PacketPtr pkt, Tick send_tick, EventQueue &dst_eq)
     pair_bytes_[static_cast<std::size_t>(pkt->src) * num_nodes_ +
                 pkt->dst] += static_cast<double>(bytes);
 
-    const bool is_pcie = pkt->src == 0 || pkt->dst == 0;
-    Tick arrive;
-    if (is_pcie) {
-        // Dedicated per-GPU PCIe channel: one serialization.
-        const NodeId gpu = pkt->src == 0 ? pkt->dst : pkt->src;
-        Serializer &ser =
-            pkt->src == 0 ? pcie_down_[gpu] : pcie_up_[gpu];
-        arrive = ser.reserve(send_tick, bytes) + pcie_.latency;
-    } else {
-        // Shared NVLink ports: sender egress, then receiver ingress.
-        const Tick sent =
-            nv_egress_[pkt->src].reserve(send_tick, bytes);
-        arrive = nv_ingress_[pkt->dst].reserve(
-            sent + nvlink_.latency, bytes);
-    }
+    // Port occupancy and arrival timing are the fabric's decision.
+    const Tick arrive =
+        topo_->route(pkt->src, pkt->dst, bytes, send_tick);
     if (TraceSink *ts = eventq().traceSink()) {
         ts->complete(pkt->src, "net", packetTypeName(pkt->type),
                      send_tick, arrive - send_tick, "bytes", bytes);
@@ -219,29 +252,25 @@ Network::pairBytes(NodeId src, NodeId dst) const
 const Serializer &
 Network::nvlinkEgress(NodeId gpu) const
 {
-    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
-    return nv_egress_[gpu];
+    return topo_->fabricEgress(gpu);
 }
 
 const Serializer &
 Network::nvlinkIngress(NodeId gpu) const
 {
-    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
-    return nv_ingress_[gpu];
+    return topo_->fabricIngress(gpu);
 }
 
 const Serializer &
 Network::pcieDown(NodeId gpu) const
 {
-    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
-    return pcie_down_[gpu];
+    return topo_->pcieDown(gpu);
 }
 
 const Serializer &
 Network::pcieUp(NodeId gpu) const
 {
-    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
-    return pcie_up_[gpu];
+    return topo_->pcieUp(gpu);
 }
 
 } // namespace mgsec

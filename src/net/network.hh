@@ -2,7 +2,11 @@
  * @file
  * System interconnect: CPU + N GPUs.
  *
- * Topology per the paper's target system (Fig. 2 / Table III):
+ * The Network owns everything every fabric shares — accounting,
+ * tamper points, capture/replay, FIFO delivery — and delegates the
+ * routing/port-sharing decision (who serializes where, for how
+ * long) to a Topology (net/topology.hh). The default p2p topology
+ * is the paper's target system (Fig. 2 / Table III):
  *   - every GPU owns one NVLink-class port (50 GB/s per direction at
  *     1 GHz => 50 B/cycle) shared by its traffic to/from all peer
  *     GPUs: egress serializes at the sender's port, ingress at the
@@ -10,8 +14,8 @@
  *   - each GPU additionally has a dedicated PCIe v4 channel to the
  *     CPU (32 GB/s per direction => 32 B/cycle).
  *
- * Delivery is FIFO per (src, dst), which the secure channel's
- * counter protocol relies on.
+ * Delivery is FIFO per (src, dst) on every topology, which the
+ * secure channel's counter protocol relies on.
  */
 
 #ifndef MGSEC_NET_NETWORK_HH
@@ -25,6 +29,7 @@
 
 #include "net/packet.hh"
 #include "net/serializer.hh"
+#include "net/topology.hh"
 #include "sim/sim_object.hh"
 
 namespace mgsec
@@ -32,19 +37,13 @@ namespace mgsec
 
 class WireObserver;
 
-/** Static channel parameters. */
-struct LinkParams
-{
-    double bytesPerCycle = 1.0;
-    Cycles latency = 1;
-};
-
 class Network : public SimObject
 {
   public:
     using Handler = std::function<void(PacketPtr)>;
 
     /**
+     * The historical point-to-point constructor.
      * @param num_nodes total processors (CPU is node 0), >= 2.
      * @param pcie per-direction parameters of each CPU<->GPU channel.
      * @param nvlink per-direction parameters of each GPU's shared
@@ -54,9 +53,29 @@ class Network : public SimObject
             std::uint32_t num_nodes, LinkParams pcie,
             LinkParams nvlink);
 
+    /** Fabric-selecting constructor (net/topology.hh). */
+    Network(const std::string &name, EventQueue &eq,
+            std::uint32_t num_nodes, LinkParams pcie,
+            LinkParams nvlink, const TopologyConfig &topo);
+
     std::uint32_t numNodes() const { return num_nodes_; }
     const LinkParams &pcieParams() const { return pcie_; }
     const LinkParams &nvlinkParams() const { return nvlink_; }
+
+    /** The fabric carrying this network's packets. */
+    const Topology &topology() const { return *topo_; }
+    /**
+     * True on switch-based fabrics, where the wire order is defined
+     * canonically (see canonical_order_ below) so serial and sharded
+     * kernels agree bit-for-bit on every statistic.
+     */
+    bool canonicalWireOrder() const { return canonical_order_; }
+    /** Link class of an (src, dst) crossing on this fabric. */
+    LinkType
+    linkType(NodeId src, NodeId dst) const
+    {
+        return topo_->linkType(src, dst);
+    }
 
     /** Install the receive handler for a node. */
     void setHandler(NodeId node, Handler h);
@@ -187,7 +206,12 @@ class Network : public SimObject
     std::uint64_t inFlight() const { return in_flight_.load(); }
     /// @}
 
-    /** @name Port utilization (for bandwidth analyses) */
+    /**
+     * @name Port utilization (for bandwidth analyses)
+     * The nvlink pair maps to the topology's fabric ports: the
+     * shared NVLink port sides on p2p, the crossbar uplink/egress
+     * on nvswitch/hier.
+     */
     /// @{
     const Serializer &nvlinkEgress(NodeId gpu) const;
     const Serializer &nvlinkIngress(NodeId gpu) const;
@@ -200,6 +224,9 @@ class Network : public SimObject
     /** The full wire crossing, parameterized so capture replay can
      *  run it with the sender's tick and the receiver's queue. */
     void sendOnWire(PacketPtr pkt, Tick send_tick, EventQueue &dst_eq);
+    /** Serial-mode canonical flush: route every send buffered at the
+     *  current tick in (src, dst) order. */
+    void flushTick();
 
     struct CapturedSend
     {
@@ -210,23 +237,35 @@ class Network : public SimObject
     std::uint32_t num_nodes_;
     LinkParams pcie_;
     LinkParams nvlink_;
+    std::unique_ptr<Topology> topo_;
 
     std::vector<Handler> handlers_;
     WireObserver *wire_obs_ = nullptr;
     std::array<TamperHook, 2> tamper_;
     std::uint64_t dropped_ = 0;
 
-    /** Indexed by node id; entry 0 unused. */
-    std::vector<Serializer> nv_egress_;
-    std::vector<Serializer> nv_ingress_;
-    std::vector<Serializer> pcie_down_;
-    std::vector<Serializer> pcie_up_;
-
     std::vector<double> pair_bytes_;
     /** Atomic: delivery callbacks decrement on domain threads. */
     std::atomic<std::uint64_t> in_flight_{0};
 
     bool capture_ = false;
+    /**
+     * Canonical wire order (switch-based fabrics only). Routing on
+     * nvswitch/hier funnels many flows through shared switch-egress
+     * and trunk ports, so same-tick sends contend far more often
+     * than on p2p — and the serial kernel's inline routing would
+     * reserve those ports in event-scheduling order while the
+     * sharded replay reserves them in (send tick, src, dst) order,
+     * making serial and sharded results drift apart. When set,
+     * serial send() buffers the packet and a same-tick flush event
+     * routes the whole batch in (src, dst) order, matching the
+     * replay sort exactly. p2p keeps the historical inline path so
+     * pre-topology artifacts stay byte-identical.
+     */
+    bool canonical_order_ = false;
+    /** Sends buffered at the current tick awaiting flushTick(). */
+    std::vector<CapturedSend> tick_pending_;
+    bool flush_scheduled_ = false;
     /** Per-writer capture lanes, indexed by the sending domain's id
      *  (last lane = sends outside any Domain scope, e.g. drains run
      *  between kernel windows on the main thread). Single-writer

@@ -1,0 +1,307 @@
+#include "net/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace mgsec
+{
+
+bool
+parseTopologyKind(const std::string &text, TopologyKind &out)
+{
+    if (text == "p2p") {
+        out = TopologyKind::P2p;
+    } else if (text == "nvswitch") {
+        out = TopologyKind::NvSwitch;
+    } else if (text == "hier") {
+        out = TopologyKind::Hier;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+Topology::Topology(const TopologyConfig &cfg, std::uint32_t num_nodes,
+                   LinkParams pcie, LinkParams nvlink)
+    : cfg_(cfg), num_nodes_(num_nodes), pcie_(pcie), nvlink_(nvlink)
+{
+    MGSEC_ASSERT(num_nodes_ >= 2, "need a CPU and at least one GPU");
+    pcie_down_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
+    pcie_up_.assign(num_nodes_, Serializer(pcie_.bytesPerCycle));
+}
+
+Tick
+Topology::routePcie(NodeId src, NodeId dst, Bytes bytes,
+                    Tick send_tick)
+{
+    MGSEC_ASSERT(src == 0 || dst == 0, "not a CPU crossing: %u -> %u",
+                 src, dst);
+    // Dedicated per-GPU PCIe channel: one serialization.
+    const NodeId gpu = src == 0 ? dst : src;
+    Serializer &ser = src == 0 ? pcie_down_[gpu] : pcie_up_[gpu];
+    return ser.reserve(send_tick, bytes) + pcie_.latency;
+}
+
+void
+Topology::checkGpu(NodeId gpu) const
+{
+    MGSEC_ASSERT(gpu >= 1 && gpu < num_nodes_, "not a GPU: %u", gpu);
+}
+
+const Serializer &
+Topology::fabricEgress(NodeId gpu) const
+{
+    checkGpu(gpu);
+    return fab_egress_[gpu];
+}
+
+const Serializer &
+Topology::fabricIngress(NodeId gpu) const
+{
+    checkGpu(gpu);
+    return fab_ingress_[gpu];
+}
+
+const Serializer &
+Topology::pcieDown(NodeId gpu) const
+{
+    checkGpu(gpu);
+    return pcie_down_[gpu];
+}
+
+const Serializer &
+Topology::pcieUp(NodeId gpu) const
+{
+    checkGpu(gpu);
+    return pcie_up_[gpu];
+}
+
+namespace
+{
+
+/**
+ * The paper's point-to-point fabric: shared per-GPU NVLink ports.
+ * The routing arithmetic is the historical Network::sendOnWire()
+ * block, moved verbatim — p2p runs are byte-identical to the
+ * pre-Topology simulator.
+ */
+class P2pTopology : public Topology
+{
+  public:
+    P2pTopology(const TopologyConfig &cfg, std::uint32_t num_nodes,
+                LinkParams pcie, LinkParams nvlink)
+        : Topology(cfg, num_nodes, pcie, nvlink)
+    {
+        fab_egress_.assign(num_nodes_,
+                           Serializer(nvlink_.bytesPerCycle));
+        fab_ingress_.assign(num_nodes_,
+                            Serializer(nvlink_.bytesPerCycle));
+    }
+
+    Tick
+    route(NodeId src, NodeId dst, Bytes bytes, Tick send_tick) override
+    {
+        if (src == 0 || dst == 0)
+            return routePcie(src, dst, bytes, send_tick);
+        // Shared NVLink ports: sender egress, then receiver ingress.
+        const Tick sent = fab_egress_[src].reserve(send_tick, bytes);
+        return fab_ingress_[dst].reserve(sent + nvlink_.latency,
+                                         bytes);
+    }
+
+    LinkType
+    linkType(NodeId src, NodeId dst) const override
+    {
+        return src == 0 || dst == 0 ? LinkType::Pcie
+                                    : LinkType::Nvlink;
+    }
+
+    Cycles
+    minLatency() const override
+    {
+        return std::min(pcie_.latency, nvlink_.latency);
+    }
+
+    std::size_t
+    numLinkClasses() const override
+    {
+        return 2;
+    }
+};
+
+/**
+ * NVSwitch-class crossbar: every GPU uplinks into one switch;
+ * traffic to a GPU contends at that GPU's switch egress port.
+ */
+class NvSwitchTopology : public Topology
+{
+  public:
+    NvSwitchTopology(const TopologyConfig &cfg,
+                     std::uint32_t num_nodes, LinkParams pcie,
+                     LinkParams nvlink)
+        : Topology(cfg, num_nodes, pcie, nvlink)
+    {
+        MGSEC_ASSERT(num_nodes_ - 1 <= cfg_.switchRadix,
+                     "%u GPUs exceed switch radix %u", num_nodes_ - 1,
+                     cfg_.switchRadix);
+        fab_egress_.assign(num_nodes_,
+                           Serializer(nvlink_.bytesPerCycle));
+        sw_egress_.assign(num_nodes_,
+                          Serializer(cfg_.switchBytesPerCycle));
+    }
+
+    Tick
+    route(NodeId src, NodeId dst, Bytes bytes, Tick send_tick) override
+    {
+        if (src == 0 || dst == 0)
+            return routePcie(src, dst, bytes, send_tick);
+        // Uplink into the crossbar, traverse it, then contend at the
+        // destination's switch egress port; the egress wire adds the
+        // NVLink hop latency.
+        const Tick up = fab_egress_[src].reserve(send_tick, bytes);
+        const Tick out = sw_egress_[dst].reserve(
+            up + cfg_.switchLatency, bytes);
+        return out + nvlink_.latency;
+    }
+
+    LinkType
+    linkType(NodeId src, NodeId dst) const override
+    {
+        return src == 0 || dst == 0 ? LinkType::Pcie
+                                    : LinkType::Switch;
+    }
+
+    Cycles
+    minLatency() const override
+    {
+        return std::min(pcie_.latency,
+                        cfg_.switchLatency + nvlink_.latency);
+    }
+
+    std::size_t
+    numLinkClasses() const override
+    {
+        return 3;
+    }
+
+    const Serializer &
+    fabricIngress(NodeId gpu) const override
+    {
+        checkGpu(gpu);
+        return sw_egress_[gpu];
+    }
+
+  private:
+    /** Switch egress port toward each GPU; entry 0 unused. */
+    std::vector<Serializer> sw_egress_;
+};
+
+/**
+ * Two-level fabric: per-node crossbars joined by trunk links. GPU g
+ * lives on node (g - 1) / gpusPerNode.
+ */
+class HierTopology : public Topology
+{
+  public:
+    HierTopology(const TopologyConfig &cfg, std::uint32_t num_nodes,
+                 LinkParams pcie, LinkParams nvlink)
+        : Topology(cfg, num_nodes, pcie, nvlink)
+    {
+        MGSEC_ASSERT(cfg_.gpusPerNode >= 1, "empty fabric nodes");
+        MGSEC_ASSERT(cfg_.gpusPerNode <= cfg_.switchRadix,
+                     "%u GPUs per node exceed switch radix %u",
+                     cfg_.gpusPerNode, cfg_.switchRadix);
+        const std::uint32_t gpus = num_nodes_ - 1;
+        fabric_nodes_ =
+            (gpus + cfg_.gpusPerNode - 1) / cfg_.gpusPerNode;
+        fab_egress_.assign(num_nodes_,
+                           Serializer(nvlink_.bytesPerCycle));
+        sw_egress_.assign(num_nodes_,
+                          Serializer(cfg_.switchBytesPerCycle));
+        trunk_out_.assign(fabric_nodes_,
+                          Serializer(cfg_.interBytesPerCycle));
+        trunk_in_.assign(fabric_nodes_,
+                         Serializer(cfg_.interBytesPerCycle));
+    }
+
+    Tick
+    route(NodeId src, NodeId dst, Bytes bytes, Tick send_tick) override
+    {
+        if (src == 0 || dst == 0)
+            return routePcie(src, dst, bytes, send_tick);
+        const std::uint32_t hs = nodeOf(src), hd = nodeOf(dst);
+        Tick t = fab_egress_[src].reserve(send_tick, bytes);
+        if (hs != hd) {
+            // Source crossbar to trunk, trunk crossing, trunk into
+            // the destination crossbar.
+            t = trunk_out_[hs].reserve(t + cfg_.switchLatency, bytes);
+            t = trunk_in_[hd].reserve(t + cfg_.interLatency, bytes);
+        }
+        const Tick out =
+            sw_egress_[dst].reserve(t + cfg_.switchLatency, bytes);
+        return out + nvlink_.latency;
+    }
+
+    LinkType
+    linkType(NodeId src, NodeId dst) const override
+    {
+        if (src == 0 || dst == 0)
+            return LinkType::Pcie;
+        return nodeOf(src) == nodeOf(dst) ? LinkType::Switch
+                                          : LinkType::Inter;
+    }
+
+    Cycles
+    minLatency() const override
+    {
+        return std::min(pcie_.latency,
+                        cfg_.switchLatency + nvlink_.latency);
+    }
+
+    std::size_t
+    numLinkClasses() const override
+    {
+        return 4;
+    }
+
+    const Serializer &
+    fabricIngress(NodeId gpu) const override
+    {
+        checkGpu(gpu);
+        return sw_egress_[gpu];
+    }
+
+  private:
+    std::uint32_t
+    nodeOf(NodeId gpu) const
+    {
+        return (gpu - 1) / cfg_.gpusPerNode;
+    }
+
+    std::uint32_t fabric_nodes_;
+    std::vector<Serializer> sw_egress_;
+    std::vector<Serializer> trunk_out_;
+    std::vector<Serializer> trunk_in_;
+};
+
+} // namespace
+
+std::unique_ptr<Topology>
+makeTopology(const TopologyConfig &cfg, std::uint32_t num_nodes,
+             LinkParams pcie, LinkParams nvlink)
+{
+    switch (cfg.kind) {
+      case TopologyKind::P2p:
+        return std::make_unique<P2pTopology>(cfg, num_nodes, pcie,
+                                             nvlink);
+      case TopologyKind::NvSwitch:
+        return std::make_unique<NvSwitchTopology>(cfg, num_nodes,
+                                                  pcie, nvlink);
+      case TopologyKind::Hier:
+        return std::make_unique<HierTopology>(cfg, num_nodes, pcie,
+                                              nvlink);
+    }
+    MGSEC_ASSERT(false, "unknown topology kind");
+    return nullptr;
+}
+
+} // namespace mgsec

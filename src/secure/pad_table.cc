@@ -94,6 +94,14 @@ PrivatePadTable::PrivatePadTable(const std::string &name,
       send_pipes_(num_nodes), recv_pipes_(num_nodes)
 {
     const std::uint32_t peers = num_nodes_ - 1;
+    // Scale-out guard: the floor of one staged pad per (peer,
+    // direction) pipe already consumes 2*peers entries, so a table
+    // configured smaller would silently hold more pads than its
+    // nominal capacity — exactly the sizing bug that shows up first
+    // at 64 GPUs, where peers outgrow a 4-GPU-tuned pool.
+    MGSEC_ASSERT(total_entries_ >= 2 * peers,
+                 "OTP table of %u entries cannot cover %u peers",
+                 total_entries_, peers);
     quota_per_pair_ =
         std::max<std::uint32_t>(1, total_entries_ / (peers * 2));
     for (NodeId p = 0; p < num_nodes_; ++p) {

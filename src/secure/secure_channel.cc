@@ -708,9 +708,8 @@ SecureChannel::handleArrival(PacketPtr pkt)
         }
         if (LatencyAttribution *attr = eventq().attribution()) {
             lifeStamp(pkt->life, LifeStamp::DeliverReady) = now();
-            attr->fold(pkt->src == 0 || self_ == 0 ? LinkType::Pcie
-                                                   : LinkType::Nvlink,
-                       pkt->life, eventq().traceSink(), self_);
+            attr->fold(net_.linkType(pkt->src, self_), pkt->life,
+                       eventq().traceSink(), self_);
         }
         MGSEC_ASSERT(deliver_ != nullptr, "no deliver handler");
         deliver_(std::move(pkt));
@@ -773,9 +772,8 @@ SecureChannel::handleArrival(PacketPtr pkt)
         // Decrypt and MAC check share the pad: `ready` is both the
         // delivery and the MAC-verify boundary.
         lifeStamp(pkt->life, LifeStamp::DeliverReady) = ready;
-        attr->fold(src == 0 || self_ == 0 ? LinkType::Pcie
-                                          : LinkType::Nvlink,
-                   pkt->life, eventq().traceSink(), self_);
+        attr->fold(net_.linkType(src, self_), pkt->life,
+                   eventq().traceSink(), self_);
     }
 
     if (TraceSink *ts = eventq().traceSink()) {

@@ -16,7 +16,7 @@ EventQueue::reserve(std::size_t expected_pending)
 }
 
 EventId
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, EventPri pri, Callback cb)
 {
     MGSEC_ASSERT(when >= now_,
                  "scheduling into the past: when=%llu now=%llu",
@@ -24,7 +24,7 @@ EventQueue::schedule(Tick when, Callback cb)
                  static_cast<unsigned long long>(now_));
     MGSEC_ASSERT(static_cast<bool>(cb), "null event callback");
     const std::uint64_t seq = next_seq_++;
-    heap_.push_back(Entry{when, seq, std::move(cb)});
+    heap_.push_back(Entry{when, seq, pri, std::move(cb)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     pending_ids_.insert(seq);
     ++live_;

@@ -26,6 +26,7 @@
 #define MGSEC_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/flat_set.hh"
@@ -37,6 +38,22 @@ namespace mgsec
 
 class LatencyAttribution;
 class TraceSink;
+
+/**
+ * Same-tick ordering class; lower runs first. Almost everything uses
+ * kPriNormal, keeping the historical pure-FIFO same-tick order.
+ * kPriWire exists for wire deliveries on canonical-order fabrics
+ * (net/network.hh): the serial kernel schedules a delivery the tick
+ * the packet is sent while the sharded kernel schedules it at a
+ * window barrier, so its FIFO position among the arrival tick's
+ * events depends on the kernel. Sorting deliveries ahead of local
+ * work makes the interleaving a pure function of simulation state.
+ */
+enum EventPri : std::uint8_t
+{
+    kPriWire = 0,
+    kPriNormal = 1,
+};
 
 /**
  * Handle returned by EventQueue::schedule(); lets the creator cancel
@@ -85,7 +102,13 @@ class EventQueue
      * @pre when >= now()
      * @return a handle usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb);
+    EventId schedule(Tick when, Callback cb)
+    {
+        return schedule(when, kPriNormal, std::move(cb));
+    }
+
+    /** Schedule with an explicit same-tick ordering class. */
+    EventId schedule(Tick when, EventPri pri, Callback cb);
 
     /** Schedule @p cb to run @p delta ticks from now. */
     EventId scheduleIn(Cycles delta, Callback cb);
@@ -162,6 +185,7 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
+        EventPri pri;
         Callback cb;
     };
 
@@ -172,6 +196,8 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.pri != b.pri)
+                return a.pri > b.pri;
             return a.seq > b.seq;
         }
     };

@@ -20,8 +20,9 @@ histName(LinkType l, const char *what)
 
 } // namespace
 
-LatencyAttribution::LatencyAttribution(std::string scheme)
-    : scheme_(std::move(scheme)),
+LatencyAttribution::LatencyAttribution(std::string scheme,
+                                       std::size_t num_links)
+    : scheme_(std::move(scheme)), num_links_(num_links),
       batch_close_("batchClose",
                    "first data message to batch MAC verdict (cycles)"),
       ack_return_("ackReturn",
@@ -31,9 +32,11 @@ LatencyAttribution::LatencyAttribution(std::string scheme)
                  "host integrity-tree walk latency on counter-cache "
                  "misses (cycles)")
 {
-    stages_.reserve(kNumLinkTypes * kNumLifeStages);
-    e2e_.reserve(kNumLinkTypes);
-    for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+    MGSEC_ASSERT(num_links_ >= 1 && num_links_ <= kNumLinkTypes,
+                 "bad link-class count %zu", num_links_);
+    stages_.reserve(num_links_ * kNumLifeStages);
+    e2e_.reserve(num_links_);
+    for (std::size_t l = 0; l < num_links_; ++l) {
         const LinkType link = static_cast<LinkType>(l);
         for (std::size_t s = 0; s < kNumLifeStages; ++s) {
             stages_.emplace_back(
@@ -45,7 +48,7 @@ LatencyAttribution::LatencyAttribution(std::string scheme)
                           "end-to-end message latency (" + scheme_ +
                               ", " + linkTypeName(link) + ")");
     }
-    for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+    for (std::size_t l = 0; l < num_links_; ++l) {
         for (std::size_t s = 0; s < kNumLifeStages; ++s)
             group_.add(stageMut(static_cast<LinkType>(l), s));
         group_.add(e2e_[l]);
@@ -58,18 +61,24 @@ LatencyAttribution::LatencyAttribution(std::string scheme)
 stats::Histogram &
 LatencyAttribution::stageMut(LinkType l, std::size_t s)
 {
+    MGSEC_ASSERT(static_cast<std::size_t>(l) < num_links_,
+                 "link class %s not registered", linkTypeName(l));
     return stages_[static_cast<std::size_t>(l) * kNumLifeStages + s];
 }
 
 const stats::Histogram &
 LatencyAttribution::stage(LinkType l, std::size_t s) const
 {
+    MGSEC_ASSERT(static_cast<std::size_t>(l) < num_links_,
+                 "link class %s not registered", linkTypeName(l));
     return stages_[static_cast<std::size_t>(l) * kNumLifeStages + s];
 }
 
 const stats::Histogram &
 LatencyAttribution::e2e(LinkType l) const
 {
+    MGSEC_ASSERT(static_cast<std::size_t>(l) < num_links_,
+                 "link class %s not registered", linkTypeName(l));
     return e2e_[static_cast<std::size_t>(l)];
 }
 

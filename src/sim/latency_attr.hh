@@ -36,25 +36,52 @@ namespace mgsec
 
 class TraceSink;
 
-/** Interconnect hop classes the paper distinguishes. */
+/**
+ * Interconnect hop classes. The first two are the paper's
+ * point-to-point fabric; Switch and Inter exist only on the
+ * scale-out topologies (net/topology.hh), so collectors register
+ * histograms for a topology-dependent prefix of this enum.
+ */
 enum class LinkType : std::uint8_t
 {
     Pcie = 0,   ///< CPU <-> GPU
-    Nvlink = 1, ///< GPU <-> GPU
+    Nvlink = 1, ///< GPU <-> GPU, point-to-point port pair
+    Switch = 2, ///< GPU <-> GPU through a crossbar
+    Inter = 3,  ///< GPU <-> GPU crossing an inter-node trunk
 };
-constexpr std::size_t kNumLinkTypes = 2;
+constexpr std::size_t kNumLinkTypes = 4;
+/** Link classes of the default point-to-point fabric. */
+constexpr std::size_t kP2pLinkClasses = 2;
 
 inline const char *
 linkTypeName(LinkType l)
 {
-    return l == LinkType::Pcie ? "pcie" : "nvlink";
+    switch (l) {
+      case LinkType::Pcie:
+        return "pcie";
+      case LinkType::Nvlink:
+        return "nvlink";
+      case LinkType::Switch:
+        return "switch";
+      case LinkType::Inter:
+        return "inter";
+    }
+    return "?";
 }
 
 class LatencyAttribution
 {
   public:
-    /** @p scheme labels the run (one OtpScheme per system). */
-    explicit LatencyAttribution(std::string scheme);
+    /**
+     * @p scheme labels the run (one OtpScheme per system).
+     * @p num_links is the number of link classes the run's fabric
+     * can emit (a contiguous LinkType prefix); histograms are
+     * registered for exactly these, so the default point-to-point
+     * fabric's stats output is unchanged by the wider enum.
+     */
+    explicit LatencyAttribution(std::string scheme,
+                                std::size_t num_links =
+                                    kP2pLinkClasses);
 
     /**
      * Fold a delivered packet's stamps: records every conservation
@@ -105,9 +132,11 @@ class LatencyAttribution
     const stats::Histogram &ackReturn() const { return ack_return_; }
     const stats::Histogram &metaWalk() const { return meta_walk_; }
 
-    /** Delivered packets folded (== e2e counts over both links). */
+    /** Delivered packets folded (== e2e counts over all links). */
     std::uint64_t folds() const { return folds_; }
     const std::string &scheme() const { return scheme_; }
+    /** Link classes this collector registered histograms for. */
+    std::size_t numLinks() const { return num_links_; }
 
     /** All histograms, registered as group "attr". */
     stats::StatGroup &statGroup() { return group_; }
@@ -131,6 +160,7 @@ class LatencyAttribution
     bool concurrent_ = false;
     std::mutex mu_;
     std::string scheme_;
+    std::size_t num_links_;
     /** [link][stage] conservation histograms, then per-link e2e. */
     std::vector<stats::Histogram> stages_;
     std::vector<stats::Histogram> e2e_;

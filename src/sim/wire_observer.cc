@@ -18,8 +18,23 @@ WireObserver::Flow::Flow()
 
 WireObserver::WireObserver(std::uint32_t num_nodes, Params p)
     : num_nodes_(num_nodes), params_(p),
-      flows_(static_cast<std::size_t>(num_nodes) * num_nodes)
+      flows_(static_cast<std::size_t>(num_nodes) * num_nodes),
+      class_names_{"pcie", "nvlink"},
+      classify_([](NodeId src, NodeId dst) -> std::size_t {
+          return src == 0 || dst == 0 ? 0 : 1;
+      }),
+      classes_(2)
 {
+}
+
+void
+WireObserver::setLinkClasses(
+    std::vector<std::string> names,
+    std::function<std::size_t(NodeId, NodeId)> classify)
+{
+    class_names_ = std::move(names);
+    classify_ = std::move(classify);
+    classes_.assign(class_names_.size(), LinkClass{});
 }
 
 WireObserver::Flow &
@@ -78,7 +93,7 @@ WireObserver::onWirePacket(NodeId src, NodeId dst, Bytes bytes,
         ++f.ctlPackets;
     }
 
-    LinkClass &cls = isPcie(src, dst) ? pcie_ : nvlink_;
+    LinkClass &cls = classes_[classOf(src, dst)];
     ++cls.packets;
     cls.bytes += bytes;
     cls.busy += occupancy;
@@ -105,7 +120,7 @@ WireObserver::onWirePacket(NodeId src, NodeId dst, Bytes bytes,
 }
 
 void
-WireObserver::mergeClass(bool pcie, stats::Histogram &gap,
+WireObserver::mergeClass(std::size_t cls, stats::Histogram &gap,
                          stats::Histogram &size,
                          stats::Histogram &burst,
                          stats::Histogram &ctl_gap,
@@ -115,7 +130,7 @@ WireObserver::mergeClass(bool pcie, stats::Histogram &gap,
     for (NodeId s = 0; s < num_nodes_; ++s) {
         for (NodeId d = 0; d < num_nodes_; ++d) {
             const Flow &f = flow(s, d);
-            if (!f.packets || isPcie(s, d) != pcie)
+            if (!f.packets || classOf(s, d) != cls)
                 continue;
             gap.merge(f.gap);
             size.merge(f.size);
@@ -187,13 +202,13 @@ WireObserver::features() const
         any_ && last_arrive_ > first_send_ ? last_arrive_ - first_send_
                                            : 0;
 
-    for (const bool pcie : {true, false}) {
-        const char *prefix = pcie ? "pcie" : "nvlink";
-        const LinkClass &cls = pcie ? pcie_ : nvlink_;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        const char *prefix = class_names_[c].c_str();
+        const LinkClass &cls = classes_[c];
         stats::Histogram gap("gap", ""), size("size", ""),
             burst("burst", ""), ctl("ctlGap", "");
         std::uint64_t ctl_packets = 0;
-        mergeClass(pcie, gap, size, burst, ctl, ctl_packets);
+        mergeClass(c, gap, size, burst, ctl, ctl_packets);
         const WindowShape ws = windowShape(cls.windowBytes);
         const auto name = [&](const char *f) {
             return std::string(prefix) + "." + f;
@@ -246,7 +261,7 @@ WireObserver::features() const
             if (!f.packets)
                 continue;
             ++dsts;
-            if (!isPcie(s, d))
+            if (classOf(s, d) != 0)
                 nv_total += f.bytes;
         }
         if (dsts) {
@@ -258,7 +273,7 @@ WireObserver::features() const
         for (NodeId s = 0; s < num_nodes_; ++s) {
             for (NodeId d = 0; d < num_nodes_; ++d) {
                 const Flow &f = flow(s, d);
-                if (isPcie(s, d) || !f.bytes)
+                if (classOf(s, d) == 0 || !f.bytes)
                     continue;
                 const double p = static_cast<double>(f.bytes) /
                                  static_cast<double>(nv_total);
@@ -306,8 +321,7 @@ WireObserver::writeJson(std::ostream &os) const
             w.beginObject();
             w.field("src", static_cast<std::uint64_t>(s));
             w.field("dst", static_cast<std::uint64_t>(d));
-            w.field("link", std::string(isPcie(s, d) ? "pcie"
-                                                     : "nvlink"));
+            w.field("link", class_names_[classOf(s, d)]);
             w.field("packets", f.packets);
             w.field("bytes", f.bytes);
             w.field("busy", f.busy);
@@ -332,15 +346,15 @@ WireObserver::writeJson(std::ostream &os) const
 
     w.key("links");
     w.beginObject();
-    for (const bool pcie : {true, false}) {
-        const LinkClass &cls = pcie ? pcie_ : nvlink_;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        const LinkClass &cls = classes_[c];
         stats::Histogram gap("gap", "merged inter-packet gap"),
             size("size", "merged wire size"),
             burst("burst", "merged burst length"),
             ctl("ctlGap", "merged control gap");
         std::uint64_t ctl_packets = 0;
-        mergeClass(pcie, gap, size, burst, ctl, ctl_packets);
-        w.key(pcie ? "pcie" : "nvlink");
+        mergeClass(c, gap, size, burst, ctl, ctl_packets);
+        w.key(class_names_[c]);
         w.beginObject();
         w.field("packets", cls.packets);
         w.field("bytes", cls.bytes);

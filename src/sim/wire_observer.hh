@@ -13,8 +13,9 @@
  *
  * The observer folds the stream online into per-directed-flow state
  * (inter-packet-gap, wire-size, burst-length, and control-gap
- * histograms) plus per-link-class (pcie / nvlink) utilization
- * windows. Everything is a commutative multiset fold over packets
+ * histograms) plus per-link-class utilization windows (pcie /
+ * nvlink by default; scale-out fabrics add switch / inter classes
+ * via setLinkClasses()). Everything is a commutative multiset fold over packets
  * keyed by departure tick, so the serialized output is byte-identical
  * across --sim-threads worker counts that produce the same wire
  * schedule (the sharded kernel's barrier merge replays captured wire
@@ -34,6 +35,7 @@
 #define MGSEC_SIM_WIRE_OBSERVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -68,6 +70,19 @@ class WireObserver
     {
     }
     WireObserver(std::uint32_t num_nodes, Params p);
+
+    /**
+     * Replace the default pcie/nvlink link-class split with the
+     * fabric's own classes: @p names labels class 0..n-1 (class 0
+     * must remain the CPU-side pcie class — the fan-out features
+     * exclude it) and @p classify maps a flow's endpoints to its
+     * class. Call before the first packet; on the default
+     * point-to-point fabric the default split already matches, so
+     * its artifacts are unchanged.
+     */
+    void setLinkClasses(
+        std::vector<std::string> names,
+        std::function<std::size_t(NodeId, NodeId)> classify);
 
     /**
      * One packet crossing the wire: src -> dst, @p bytes on the
@@ -123,7 +138,7 @@ class WireObserver
         stats::Histogram ctlGap; ///< deltas between ctl-sized packets
     };
 
-    /** Per link class (pcie / nvlink) accumulation. */
+    /** Per link class (pcie / nvlink / switch / ...) accumulation. */
     struct LinkClass
     {
         std::uint64_t packets = 0;
@@ -136,13 +151,14 @@ class WireObserver
 
     Flow &flow(NodeId src, NodeId dst);
     const Flow &flow(NodeId src, NodeId dst) const;
-    bool isPcie(NodeId src, NodeId dst) const
+    std::size_t
+    classOf(NodeId src, NodeId dst) const
     {
-        return src == 0 || dst == 0;
+        return classify_(src, dst);
     }
 
     /** Merge every flow of a link class into fresh histograms. */
-    void mergeClass(bool pcie, stats::Histogram &gap,
+    void mergeClass(std::size_t cls, stats::Histogram &gap,
                     stats::Histogram &size, stats::Histogram &burst,
                     stats::Histogram &ctl_gap,
                     std::uint64_t &ctl_packets) const;
@@ -150,8 +166,9 @@ class WireObserver
     std::uint32_t num_nodes_;
     Params params_;
     std::vector<Flow> flows_; ///< num_nodes^2, index src*n+dst
-    LinkClass pcie_;
-    LinkClass nvlink_;
+    std::vector<std::string> class_names_;
+    std::function<std::size_t(NodeId, NodeId)> classify_;
+    std::vector<LinkClass> classes_;
     std::uint64_t packets_ = 0;
     std::uint64_t bytes_ = 0;
     Tick first_send_ = 0;

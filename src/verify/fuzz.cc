@@ -289,14 +289,21 @@ encodeRepro(const TestbedConfig &cfg)
                             s.nth,
                             static_cast<unsigned long long>(s.param));
     }
+    // topo= appears only off the default so historical repro strings
+    // stay stable (and old repros keep decoding).
+    std::string topo;
+    if (cfg.topology.kind != TopologyKind::P2p)
+        topo = strformat(";topo=%s",
+                         topologyKindName(cfg.topology.kind));
     return strformat(
         "v1;seed=%llu;nodes=%u;scheme=%s;batch=%u;bsz=%u;msgs=%u;"
-        "req=%u;gap=%llu;bug=%s;trigger=%u;script=%s",
+        "req=%u;gap=%llu;bug=%s;trigger=%u%s;script=%s",
         static_cast<unsigned long long>(cfg.seed), cfg.numNodes,
         otpSchemeName(cfg.scheme), cfg.batching ? 1 : 0,
         cfg.batchSize, cfg.messages, cfg.requestPercent,
         static_cast<unsigned long long>(cfg.gap),
-        seededBugName(cfg.bug), cfg.bugTrigger, script.c_str());
+        seededBugName(cfg.bug), cfg.bugTrigger, topo.c_str(),
+        script.c_str());
 }
 
 bool
@@ -350,6 +357,9 @@ decodeRepro(const std::string &text, TestbedConfig &out)
             if (!parseU64(val, v))
                 return false;
             out.bugTrigger = static_cast<std::uint32_t>(v);
+        } else if (key == "topo") {
+            if (!parseTopologyKind(val, out.topology.kind))
+                return false;
         } else if (key == "script") {
             if (!parseScript(val, out.script))
                 return false;
@@ -425,6 +435,26 @@ shrinkCase(const TestbedConfig &failing, std::uint32_t *runs_used)
                 continue;
             }
         }
+        if (best.topology.kind != TopologyKind::P2p) {
+            // Downgrade one rung at a time: a hier failure may need
+            // switch contention but not the inter-node trunk.
+            TestbedConfig c = best;
+            c.topology.kind = best.topology.kind == TopologyKind::Hier
+                                  ? TopologyKind::NvSwitch
+                                  : TopologyKind::P2p;
+            if (fails(c)) {
+                best = c;
+                continue;
+            }
+        }
+        if (best.numNodes > 4) {
+            TestbedConfig c = best;
+            c.numNodes = std::max<std::uint32_t>(2, best.numNodes / 2);
+            if (fails(c)) {
+                best = c;
+                continue;
+            }
+        }
         if (best.numNodes > 2) {
             TestbedConfig c = best;
             c.numNodes = 2;
@@ -484,7 +514,12 @@ runCampaign(const CampaignConfig &cc)
         } else {
             cfg = generateCase(rng, cc.injectBug);
         }
+        // Campaign-wide overrides land after generation so they never
+        // perturb the seeded RNG stream (same trick as simThreads).
         cfg.simThreads = cc.simThreads;
+        cfg.topology = cc.topology;
+        if (cc.numNodes != 0)
+            cfg.numNodes = cc.numNodes;
         const CaseOutcome oc = runCase(cfg);
         ++out.runs;
         out.attacksMounted += oc.result.attacksMounted;

@@ -78,6 +78,17 @@ struct CampaignConfig
      * replays serially.
      */
     std::uint32_t simThreads = 1;
+    /**
+     * Fabric for every case (knobs keep their defaults; only the
+     * kind varies). Unlike simThreads this IS part of the repro —
+     * switch contention changes arrival order, so a failure on
+     * nvswitch/hier may not reproduce on p2p. shrinkCase() tries to
+     * downgrade it (hier -> nvswitch -> p2p) like any other
+     * dimension.
+     */
+    TopologyConfig topology{};
+    /** Node-count override for every case; 0 = generator's choice. */
+    std::uint32_t numNodes = 0;
 };
 
 struct CampaignResult

@@ -50,7 +50,8 @@ VerifyTestbed::VerifyTestbed(const TestbedConfig &cfg) : cfg_(cfg)
 
     net_ = std::make_unique<Network>("net", eq_, cfg_.numNodes,
                                      LinkParams{16.0, 50},
-                                     LinkParams{25.0, 10});
+                                     LinkParams{25.0, 10},
+                                     cfg_.topology);
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         channels_.push_back(std::make_unique<SecureChannel>(
             strformat("ch%u", n), queueOf(n), *net_, n, sec_));
@@ -224,8 +225,7 @@ VerifyTestbed::runUntil(Tick until)
     for (auto &d : domains_)
         k.domains.push_back(d.get());
     k.threads = sim_threads_;
-    k.lookahead = std::min(net_->pcieParams().latency,
-                           net_->nvlinkParams().latency);
+    k.lookahead = net_->topology().minLatency();
     k.maxCycles = until;
     k.exchange = [this]() {
         return net_->replayCaptured([this](NodeId n) -> EventQueue & {

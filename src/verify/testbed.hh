@@ -53,6 +53,12 @@ struct TestbedConfig
     /** Mean inter-send spacing in cycles. */
     Cycles gap = 20;
     std::uint64_t seed = 1;
+    /**
+     * Fabric under test. The adversary, oracle and channels are all
+     * routing-agnostic, so every security verdict must hold on every
+     * topology; the default p2p keeps historical repros bit-exact.
+     */
+    TopologyConfig topology{};
     SeededBug bug = SeededBug::None;
     /** 0-based index of the eligible packet that triggers the bug. */
     std::uint32_t bugTrigger = 3;

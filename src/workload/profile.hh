@@ -27,6 +27,17 @@
 namespace mgsec
 {
 
+/**
+ * GPU count of the paper's reference machine (Table III). Strong
+ * scaling keeps the problem size fixed at this baseline: per-GPU
+ * work shrinks as kScalingBaselineGpus/numGpus and inter-burst gaps
+ * as (kScalingBaselineGpus/numGpus)^kScalingGapExponent (Sec. V-D;
+ * docs/MODEL.md §7). Every strong-scaling site derives from these
+ * two constants.
+ */
+inline constexpr std::uint32_t kScalingBaselineGpus = 4;
+inline constexpr double kScalingGapExponent = 0.7;
+
 /** Remote-requests-per-kilo-instruction class (paper Table IV). */
 enum class RpkiClass : std::uint8_t { High, Medium, Low };
 

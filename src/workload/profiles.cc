@@ -281,12 +281,14 @@ makeProfile(const std::string &abbr, double scale,
         64, static_cast<std::uint64_t>(
                 std::llround(static_cast<double>(p.opsPerGpu) *
                              scale)));
-    if (num_gpus != 4) {
+    if (num_gpus != kScalingBaselineGpus) {
         // Strong scaling: the same problem cut into more partitions
         // has more boundary per unit of compute, so communication
         // density rises with the partition count.
-        const double g = std::pow(4.0 / static_cast<double>(num_gpus),
-                                  0.7);
+        const double g =
+            std::pow(static_cast<double>(kScalingBaselineGpus) /
+                         static_cast<double>(num_gpus),
+                     kScalingGapExponent);
         for (auto &ph : p.phases) {
             ph.interGap = std::max<Cycles>(
                 1, static_cast<Cycles>(std::llround(

@@ -14,6 +14,7 @@
 #include "core/experiment.hh"
 #include "core/json_in.hh"
 #include "sim/latency_attr.hh"
+#include "sim/logging.hh"
 #include "sim/lifecycle.hh"
 #include "workload/profile.hh"
 
@@ -71,7 +72,7 @@ TEST_P(AttributionConservation, StagesSumToEndToEndExactly)
         EXPECT_GT(attr->folds(), 0u);
 
         std::uint64_t e2e_count = 0;
-        for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+        for (std::size_t l = 0; l < attr->numLinks(); ++l) {
             const LinkType link = static_cast<LinkType>(l);
             const stats::Histogram &e2e = attr->e2e(link);
             e2e_count += e2e.count();
@@ -99,6 +100,71 @@ INSTANTIATE_TEST_SUITE_P(
                                          OtpScheme::Cached,
                                          OtpScheme::Dynamic),
                        ::testing::Bool()));
+
+/**
+ * Scale invariance: the telescope is a per-message identity, so it
+ * must survive any GPU count and any fabric — the histograms grow,
+ * the invariant does not. Runs the 5-stage conservation check at
+ * 4/8/16/64 GPUs on every topology, and pins the active-link-prefix
+ * contract (p2p registers 2 classes, nvswitch 3, hier 4).
+ */
+class AttributionScaleInvariance
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, TopologyKind>>
+{};
+
+TEST_P(AttributionScaleInvariance, TelescopeHoldsOnEveryFabric)
+{
+    const auto [gpus, kind] = GetParam();
+    ExperimentConfig cfg = smallConfig(OtpScheme::Dynamic, true, 1);
+    cfg.numGpus = gpus;
+    cfg.topology.kind = kind;
+    // Weak scaling multiplies total work by the GPU count; shrink
+    // the per-GPU slice so the 64-GPU points stay test-sized.
+    cfg.scale = gpus > 16 ? 0.01 : 0.03;
+
+    std::unique_ptr<MultiGpuSystem> sys;
+    const RunResult r = runAttributed(cfg, "mm", sys);
+    ASSERT_TRUE(r.completed);
+
+    const LatencyAttribution *attr = sys->attribution();
+    ASSERT_NE(attr, nullptr);
+    const std::size_t want_links =
+        kind == TopologyKind::P2p        ? kP2pLinkClasses
+        : kind == TopologyKind::NvSwitch ? 3u
+                                         : 4u;
+    EXPECT_EQ(attr->numLinks(), want_links);
+    EXPECT_GT(attr->folds(), 0u);
+
+    std::uint64_t e2e_count = 0;
+    for (std::size_t l = 0; l < attr->numLinks(); ++l) {
+        const LinkType link = static_cast<LinkType>(l);
+        const stats::Histogram &e2e = attr->e2e(link);
+        e2e_count += e2e.count();
+        std::uint64_t stage_sum = 0;
+        for (std::size_t s = 0; s < kNumLifeStages; ++s) {
+            const stats::Histogram &st = attr->stage(link, s);
+            EXPECT_EQ(st.count(), e2e.count())
+                << linkTypeName(link) << "." << lifeStageName(s)
+                << " at " << gpus << " GPUs";
+            stage_sum += st.sum();
+        }
+        EXPECT_EQ(stage_sum, e2e.sum())
+            << linkTypeName(link) << " at " << gpus << " GPUs";
+    }
+    EXPECT_EQ(e2e_count, attr->folds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpusAndFabrics, AttributionScaleInvariance,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 64u),
+                       ::testing::Values(TopologyKind::P2p,
+                                         TopologyKind::NvSwitch,
+                                         TopologyKind::Hier)),
+    [](const auto &info) {
+        return strformat("g%u_%s", std::get<0>(info.param),
+                         topologyKindName(std::get<1>(info.param)));
+    });
 
 TEST(Attribution, DoesNotPerturbSimulatedResults)
 {
@@ -175,7 +241,7 @@ TEST(Attribution, ResetStatsClearsHistograms)
     ASSERT_GT(sys->attribution()->folds(), 0u);
     sys->resetStats();
     EXPECT_EQ(sys->attribution()->folds(), 0u);
-    for (std::size_t l = 0; l < kNumLinkTypes; ++l)
+    for (std::size_t l = 0; l < sys->attribution()->numLinks(); ++l)
         EXPECT_EQ(
             sys->attribution()->e2e(static_cast<LinkType>(l)).count(),
             0u);

@@ -325,7 +325,7 @@ TEST(ParallelKernel, AttributionConservesOnShardedRun)
     ASSERT_NE(attr, nullptr);
     EXPECT_GT(attr->folds(), 0u);
     std::uint64_t e2e_count = 0;
-    for (std::size_t l = 0; l < kNumLinkTypes; ++l) {
+    for (std::size_t l = 0; l < attr->numLinks(); ++l) {
         const LinkType link = static_cast<LinkType>(l);
         const stats::Histogram &e2e = attr->e2e(link);
         e2e_count += e2e.count();

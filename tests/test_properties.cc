@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <random>
+#include <tuple>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -17,6 +19,7 @@
 #include "net/network.hh"
 #include "secure/pad_table.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 
 using namespace mgsec;
 
@@ -186,7 +189,7 @@ TEST_P(SystemLaws, RunConservation)
     for (NodeId g = 1; g < sys.numNodes(); ++g)
         issued += sys.node(g).remoteOps() + sys.node(g).localOps();
     const WorkloadProfile p = makeProfile(GetParam(), e.scale);
-    EXPECT_EQ(issued, p.opsPerGpu * 4);
+    EXPECT_EQ(issued, p.opsPerGpu * e.numGpus);
 
     // Send and receive pad claims balance system-wide.
     EXPECT_EQ(r.otp.total(Direction::Send),
@@ -202,6 +205,102 @@ INSTANTIATE_TEST_SUITE_P(Workloads, SystemLaws,
                          ::testing::Values("mt", "mm", "atax", "km",
                                            "aes"),
                          [](const auto &info) { return info.param; });
+
+// ------------------------------------------------ scale-invariant laws
+
+/**
+ * The conservation laws above are per-message identities, so they
+ * must hold unchanged at every machine size and on every fabric.
+ * This re-runs the whole-system laws at 4/8/16/64 GPUs across
+ * p2p/nvswitch/hier — the suite the scale-out work is validated by.
+ */
+class ScaleInvariantLaws
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, TopologyKind>>
+{};
+
+TEST_P(ScaleInvariantLaws, ConservationHoldsAtEveryScale)
+{
+    const auto [gpus, kind] = GetParam();
+    ExperimentConfig e;
+    e.scheme = OtpScheme::Dynamic;
+    e.batching = true;
+    e.numGpus = gpus;
+    e.topology.kind = kind;
+    // Weak scaling: total work grows with the GPU count, so shrink
+    // the per-GPU slice to keep the 64-GPU points test-sized.
+    e.scale = gpus > 16 ? 0.01 : 0.04;
+    SystemConfig sc = makeSystemConfig(e);
+    MultiGpuSystem sys(sc, makeProfile("mm", e.scale, gpus));
+    const RunResult r = sys.run();
+    ASSERT_TRUE(r.completed);
+
+    std::uint64_t issued = 0;
+    for (NodeId g = 1; g < sys.numNodes(); ++g)
+        issued += sys.node(g).remoteOps() + sys.node(g).localOps();
+    const WorkloadProfile p = makeProfile("mm", e.scale, gpus);
+    EXPECT_EQ(issued, p.opsPerGpu * gpus);
+
+    EXPECT_EQ(r.otp.total(Direction::Send),
+              r.otp.total(Direction::Recv));
+    EXPECT_EQ(r.classBytes[0] + r.classBytes[1] + r.classBytes[2] +
+                  r.classBytes[3],
+              r.totalBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpusAndFabrics, ScaleInvariantLaws,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 64u),
+                       ::testing::Values(TopologyKind::P2p,
+                                         TopologyKind::NvSwitch,
+                                         TopologyKind::Hier)),
+    [](const auto &info) {
+        return strformat("g%u_%s", std::get<0>(info.param),
+                         topologyKindName(std::get<1>(info.param)));
+    });
+
+// --------------------------------------- strong-scaling profile sizing
+
+TEST(ScalingRegression, StrongVsWeakProfileSizingAt64Gpus)
+{
+    // Regression for the once-hardcoded "4.0 / numGpus" sites: both
+    // the workload scale factor and the inter-burst gap compression
+    // must derive from the named baseline constants, and they must
+    // agree at 64 GPUs.
+    static_assert(kScalingBaselineGpus == 4,
+                  "the paper's reference machine has 4 GPUs");
+
+    const WorkloadProfile base =
+        makeProfile("mm", 1.0, kScalingBaselineGpus);
+    const WorkloadProfile weak = makeProfile("mm", 1.0, 64);
+
+    // Weak scaling: per-GPU work is constant; only the gaps move.
+    EXPECT_EQ(weak.opsPerGpu, base.opsPerGpu);
+    const double g = std::pow(
+        static_cast<double>(kScalingBaselineGpus) / 64.0,
+        kScalingGapExponent);
+    ASSERT_EQ(weak.phases.size(), base.phases.size());
+    for (std::size_t i = 0; i < base.phases.size(); ++i) {
+        const auto want = std::max<Cycles>(
+            1, static_cast<Cycles>(std::llround(
+                   static_cast<double>(base.phases[i].interGap) * g)));
+        EXPECT_EQ(weak.phases[i].interGap, want) << "phase " << i;
+    }
+
+    // Strong scaling: the fixed problem is cut 16x finer, so the
+    // per-GPU slice shrinks by baseline/numGpus (modulo the integer
+    // rounding makeProfile applies to each slice independently).
+    const double strong_scale =
+        1.0 * kScalingBaselineGpus / 64.0;
+    const WorkloadProfile strong =
+        makeProfile("mm", strong_scale, 64);
+    const auto want_ops = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(std::llround(
+                static_cast<double>(base.opsPerGpu) *
+                static_cast<double>(kScalingBaselineGpus) / 64.0)));
+    EXPECT_EQ(strong.opsPerGpu, want_ops);
+    EXPECT_LT(strong.opsPerGpu, weak.opsPerGpu);
+}
 
 // ------------------------------------- Dynamic-scheme conservation laws
 
@@ -313,6 +412,68 @@ TEST(DynamicInvariants, QuotasAlwaysPartitionThePool)
     // path, or this test proves nothing.
     EXPECT_GT(repartitions, 4u);
 }
+
+/**
+ * The quota-partition law at scaled-out node counts (4/8/16/64 GPUs
+ * plus the host): largest-remainder rounding over 64 peers has far
+ * more ties and remainders than over 4, so the conservation proof
+ * at the paper's machine size says nothing about 65 nodes unless we
+ * run it there.
+ */
+class DynamicScaleInvariants
+    : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(DynamicScaleInvariants, QuotasPartitionPoolAtEveryNodeCount)
+{
+    const std::uint32_t nodes = GetParam();
+    std::mt19937_64 rng(7);
+    EventQueue eq;
+    // Pool sized like totalOtpEntries(): a few entries per pair.
+    const std::uint32_t entries = (nodes - 1) * 8;
+    DynamicPadTable t = makeTwitchyDynamic(eq, nodes, entries);
+
+    std::vector<std::uint64_t> peer_ctr(nodes, 0);
+    for (int i = 0; i < 1200; ++i) {
+        const Tick upto = eq.now() + 1 + rng() % 10;
+        eq.schedule(upto, []() {});
+        eq.run(upto);
+        // A rotating hot peer keeps the EWMAs moving at any size.
+        NodeId peer = (rng() % 4 == 0)
+                          ? static_cast<NodeId>(rng() % nodes)
+                          : static_cast<NodeId>((i / 200) % nodes);
+        if (peer == 1)
+            peer = 0;
+        if (rng() % 3 != 0)
+            t.acquireSend(peer);
+        else
+            t.acquireRecv(peer, peer_ctr[peer]++);
+
+        EXPECT_GE(t.sendWeight(), 0.0);
+        EXPECT_LE(t.sendWeight(), 1.0);
+        std::uint32_t sum = 0;
+        for (NodeId p = 0; p < nodes; ++p) {
+            if (p == 1)
+                continue;
+            for (Direction d : {Direction::Send, Direction::Recv}) {
+                const std::uint32_t q = t.quota(p, d);
+                EXPECT_GE(q, 1u)
+                    << "pipe (" << p << ") lost its floor";
+                sum += q;
+            }
+        }
+        EXPECT_EQ(sum, entries)
+            << "after " << t.adjustments() << " adjustments at "
+            << nodes << " nodes";
+    }
+    EXPECT_GT(t.adjustments(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, DynamicScaleInvariants,
+                         ::testing::Values(5u, 9u, 17u, 65u),
+                         [](const auto &info) {
+                             return strformat("n%u", info.param);
+                         });
 
 TEST(DynamicInvariants, RepartitionNeverStrandsInFlightPads)
 {

@@ -34,10 +34,16 @@ usage(const char *argv0)
         "usage: %s [--budget SECONDS] [--seed N] [--max-runs N]\n"
         "          [--repro STRING] [--inject-bug counterskip|"
         "stalecipher]\n"
-        "          [--artifact PATH] [--sim-threads N] [--verbose]\n"
+        "          [--artifact PATH] [--sim-threads N]\n"
+        "          [--topology p2p|nvswitch|hier] [--nodes N]\n"
+        "          [--verbose]\n"
         "  --sim-threads N   run every case on the domain-sharded\n"
         "                    event kernel (repros still replay "
-        "serially)\n",
+        "serially)\n"
+        "  --topology T      fabric for every case (default p2p;\n"
+        "                    part of the repro, unlike --sim-threads)\n"
+        "  --nodes N         fix the node count of every case\n"
+        "                    (default: generator's choice, 2..4)\n",
         argv0);
     return 2;
 }
@@ -153,6 +159,19 @@ main(int argc, char **argv)
             if (t < 1 || t > 256)
                 return usage(argv[0]);
             cc.simThreads = static_cast<std::uint32_t>(t);
+        } else if (arg == "--topology") {
+            const char *v = value();
+            if (v == nullptr ||
+                !mgsec::parseTopologyKind(v, cc.topology.kind))
+                return usage(argv[0]);
+        } else if (arg == "--nodes") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            const unsigned long n = std::strtoul(v, nullptr, 10);
+            if (n < 2 || n > 256)
+                return usage(argv[0]);
+            cc.numNodes = static_cast<std::uint32_t>(n);
         } else if (arg == "--verbose") {
             cc.verbose = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -32,7 +32,7 @@ main(int argc, char **argv)
         return 1;
 
     const double scale = opts.exp.strongScaling
-        ? opts.exp.scale * 4.0 / opts.exp.numGpus
+        ? opts.exp.scale * kScalingBaselineGpus / opts.exp.numGpus
         : opts.exp.scale;
     const WorkloadProfile profile =
         makeProfile(opts.workload, scale, opts.exp.numGpus);

@@ -63,6 +63,9 @@ writeJson(std::ostream &os, const SweepArgs &args, const Sweep &sweep,
     JsonWriter w(os);
     w.beginObject();
     w.field("gpus", static_cast<std::uint64_t>(args.gpus));
+    if (args.topology.kind != TopologyKind::P2p)
+        w.field("topology",
+                std::string(topologyKindName(args.topology.kind)));
     w.field("scale", args.scale);
     w.field("seeds", static_cast<std::uint64_t>(args.seeds));
     w.field("jobs", static_cast<std::uint64_t>(sweep.jobs()));
@@ -105,6 +108,7 @@ main(int argc, char **argv)
     args.acceptObserve = true;
     args.acceptShape = true;
     args.acceptWorkloads = true;
+    args.acceptTopology = true;
     args.parseArgs(argc, argv);
 
     // With the default --shape none / all-workloads arguments the
@@ -117,7 +121,11 @@ main(int argc, char **argv)
 
     std::cout << "normalized execution time, " << args.gpus
               << "-GPU system, " << args.seeds << " seed(s), scale "
-              << args.scale << "\n\n";
+              << args.scale;
+    if (args.topology.kind != TopologyKind::P2p)
+        std::cout << ", topology "
+                  << topologyKindName(args.topology.kind);
+    std::cout << "\n\n";
 
     Sweep sweep(args);
     std::vector<std::vector<std::vector<std::size_t>>> handles;
@@ -132,6 +140,7 @@ main(int argc, char **argv)
                 e.batching = c.batching;
                 e.otpMult = c.mult;
                 e.shaping = shape;
+                e.topology = args.topology;
                 hs.push_back(sweep.addNormalized(wl, e));
             }
             per_wl.push_back(std::move(hs));
