@@ -646,11 +646,96 @@ benchObserve(double scale, bool quick)
     return r;
 }
 
+// --------------------------------------------------------------------
+// Self-profiler: end-to-end with the host profiler off vs. on. Off
+// must cost nothing (the hooks are one null pointer test); on must
+// stay under a couple percent. A profiled sharded run must also keep
+// the packet hot path allocation-free — the profiler's only memory
+// is its own pre-sized lanes.
+// --------------------------------------------------------------------
+
+struct ProfilerResult
+{
+    double wallSecOff = 0.0;
+    double wallSecOn = 0.0;
+    double overheadPct = 0.0;
+    std::uint64_t spans = 0;
+    std::uint64_t shardedSpans = 0;
+    std::uint64_t shardedWindows = 0;
+    std::uint64_t poolFreshPackets = 0;  ///< profiled sharded run
+    std::uint64_t poolFreshPayloads = 0; ///< profiled sharded run
+};
+
+ProfilerResult
+benchProfiler(double scale, bool quick)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = OtpScheme::Dynamic;
+    cfg.batching = true;
+    cfg.scale = quick ? scale * 0.5 : scale;
+    const WorkloadProfile profile =
+        makeProfile("mm", cfg.scale, cfg.numGpus);
+
+    // Minimum over alternating repetitions: the delta being gated
+    // (a dozen clock reads) is far below scheduler noise on one
+    // 20 ms run, and min-of-N is the standard estimator for "cost
+    // when nothing else interfered".
+    ProfilerResult r;
+    r.wallSecOff = 1e30;
+    r.wallSecOn = 1e30;
+    const int reps = quick ? 3 : 5;
+    for (int i = 0; i < reps; ++i) {
+        {
+            MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+            const auto t0 = Clock::now();
+            sys.run();
+            r.wallSecOff = std::min(r.wallSecOff, secondsSince(t0));
+        }
+        {
+            MultiGpuSystem sys(makeSystemConfig(cfg), profile);
+            sys.enableProfiler();
+            const auto t0 = Clock::now();
+            sys.run();
+            r.wallSecOn = std::min(r.wallSecOn, secondsSince(t0));
+            r.spans = sys.profiler()->totalSpans();
+        }
+    }
+    r.overheadPct = (r.wallSecOn / r.wallSecOff - 1.0) * 100.0;
+
+    // The sharded kernel's allocation guarantee must survive with
+    // per-window span recording on every worker.
+    {
+        ExperimentConfig pc = cfg;
+        pc.numGpus = 16;
+        pc.strongScaling = false;
+        pc.simThreads = 2;
+        const WorkloadProfile pp =
+            makeProfile("mm", pc.scale, pc.numGpus);
+        MultiGpuSystem sys(makeSystemConfig(pc), pp);
+        sys.enableProfiler();
+        const RunResult run = sys.run();
+        r.shardedSpans = sys.profiler()->totalSpans();
+        r.shardedWindows = sys.profiler()->profiledWindows();
+        r.poolFreshPackets = run.poolFreshPackets;
+        r.poolFreshPayloads = run.poolFreshPayloads;
+        if (run.poolFreshPackets != 0 ||
+            run.poolFreshPayloads != 0) {
+            std::cerr << "FATAL: profiled sharded run hit the "
+                      << "allocator " << run.poolFreshPackets << "+"
+                      << run.poolFreshPayloads
+                      << " times after preload\n";
+            std::exit(1);
+        }
+    }
+    return r;
+}
+
 void
 writeJson(const std::string &path, const GhashResult &gh,
           const CryptoTiersResult &ct, const EventQueueResult &eq,
           const PacketPoolResult &pp, const EndToEndResult &e2e,
-          const SimThreadsResult &st, const ObserveResult &obs)
+          const SimThreadsResult &st, const ObserveResult &obs,
+          const ProfilerResult &pr)
 {
     std::ofstream os(path);
     if (!os) {
@@ -739,6 +824,17 @@ writeJson(const std::string &path, const GhashResult &gh,
     w.field("metricSamples", obs.metricSamples);
     w.field("attrFolds", obs.attrFolds);
     w.field("freshAfterTrace", obs.freshAfterTrace);
+    w.endObject();
+
+    w.key("profiler").beginObject();
+    w.field("wallSecOff", pr.wallSecOff);
+    w.field("wallSecOn", pr.wallSecOn);
+    w.field("overheadPct", pr.overheadPct);
+    w.field("spans", pr.spans);
+    w.field("shardedSpans", pr.shardedSpans);
+    w.field("shardedWindows", pr.shardedWindows);
+    w.field("poolFreshPackets", pr.poolFreshPackets);
+    w.field("poolFreshPayloads", pr.poolFreshPayloads);
     w.endObject();
 
     w.endObject();
@@ -846,8 +942,17 @@ main(int argc, char **argv)
                         obs.freshAfterTrace));
     }
 
+    const ProfilerResult pr = benchProfiler(args.scale, args.quick);
+    std::printf("profiler    %.2f s off   %.2f s on   overhead "
+                "%+.1f%%   %llu spans   %llu sharded spans over "
+                "%llu windows\n",
+                pr.wallSecOff, pr.wallSecOn, pr.overheadPct,
+                static_cast<unsigned long long>(pr.spans),
+                static_cast<unsigned long long>(pr.shardedSpans),
+                static_cast<unsigned long long>(pr.shardedWindows));
+
     if (!args.json.empty()) {
-        writeJson(args.json, gh, ct, eq, pp, e2e, st, obs);
+        writeJson(args.json, gh, ct, eq, pp, e2e, st, obs, pr);
         std::cout << "\nwrote " << args.json << "\n";
     }
 

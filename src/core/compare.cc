@@ -51,6 +51,22 @@ ignoredPath(const std::string &path,
     return false;
 }
 
+const std::vector<std::string> &
+defaultCompareIgnores()
+{
+    // The first six are the historical throughput/wall-clock keys;
+    // the rest cover the self-profiler (PROF documents flattened as
+    // phases./pdes., prof-prefixed keys elsewhere) and the sweep
+    // progress telemetry. All substring-matched against dotted
+    // paths, so "busyNs" also catches sumBusyNs/sumMaxBusyNs.
+    static const std::vector<std::string> ignores = {
+        "wallSec",  "PerSec",   "MBps",   "perSec", "speedup",
+        "overheadPct", "prof",  "phases.", "pdes.", "wallNs",
+        "busyNs",   "etaSec",
+    };
+    return ignores;
+}
+
 void
 compareDocs(const JsonValue &oldDoc, const JsonValue &newDoc,
             const std::string &prefix, double threshold,

@@ -60,6 +60,15 @@ bool ignoredPath(const std::string &path,
                  const std::vector<std::string> &ignores);
 
 /**
+ * The default --compare ignore list: every host-wall-clock-derived
+ * key — throughput rates, speedups, and all self-profiler output
+ * (PROF documents and prof-tagged keys) — because wall time varies
+ * run to run while sim results must not. Shared between
+ * mgsec_report and the regression tests so the two can never drift.
+ */
+const std::vector<std::string> &defaultCompareIgnores();
+
+/**
  * Flatten both documents under @p prefix and flag every shared leaf
  * moving more than @p threshold percent into @p cs; unmatched paths
  * count as onlyOld/onlyNew.

@@ -198,6 +198,8 @@ RunOptions::set(const std::string &key, const std::string &value)
         exp.observe.histJsonOut = value;
     } else if (key == "wire-json") {
         exp.observe.wireOut = value;
+    } else if (key == "prof-out") {
+        exp.observe.profOut = value;
     } else if (key == "observe-dir") {
         observeDir = value;
     } else if (key == "shape") {
@@ -289,6 +291,18 @@ RunOptions::finalizeObservability()
     exp.observe.histJsonOut = observeDir + "/HIST_" + h + ".json";
     exp.observe.wireOut = observeDir + "/WIRE_" + h + ".json";
     return true;
+}
+
+void
+RunOptions::finalizeProfiler()
+{
+    // Opt-in pairing: host-track spans carry wall-clock timestamps,
+    // so they only enter the trace when the user explicitly asked
+    // for both artifacts — a bare --trace-out stays byte-identical
+    // run to run and across thread counts.
+    if (!exp.observe.profOut.empty() &&
+        !exp.observe.traceOut.empty())
+        exp.observe.profHostTrack = true;
 }
 
 bool
@@ -391,6 +405,10 @@ RunOptions::usage(std::ostream &os)
           "JSON (implies --attr on)\n"
           "  --wire-json FILE       write the passive wire-observer "
           "dump as JSON\n"
+          "  --prof-out FILE        write the host-side self-profiler "
+          "dump as JSON\n"
+          "                         (with --trace-out: adds a "
+          "wall-clock host track)\n"
           "  --observe-dir DIR      bundle all sinks into DIR with "
           "sweep's METRICS_/TRACE_/\n"
           "                         STATS_/HIST_/WIRE_<hash>.json "

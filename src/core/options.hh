@@ -72,6 +72,15 @@ struct RunOptions
     bool finalizeObservability();
 
     /**
+     * Pair --prof-out with an explicitly given --trace-out by
+     * turning the trace's "host" (wall-clock) process track on.
+     * Call after parse() but before finalizeObservability(), so an
+     * observe-dir bundle's TRACE_ file — which tests byte-compare
+     * across runs and thread counts — never grows wall-clock spans.
+     */
+    void finalizeProfiler();
+
+    /**
      * Apply one key=value setting.
      * @retval false the key is unknown (error reported to stderr).
      */

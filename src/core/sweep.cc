@@ -1,11 +1,13 @@
 #include "core/sweep.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -41,9 +43,11 @@ SweepArgs::printUsage(std::ostream &os, const char *argv0) const
         os << "  --json F   also write the results as JSON to F\n";
     if (acceptObserve)
         os << "  --observe DIR  write per-job METRICS_/TRACE_/STATS_/"
-           << "HIST_/WIRE_ JSON files\n"
+           << "HIST_/WIRE_/PROF_ JSON files\n"
            << "             (tagged by config hash) plus an "
-           << "OBSERVE_INDEX.json into DIR\n";
+           << "OBSERVE_INDEX.json and an\n"
+           << "             append-only PROGRESS.jsonl heartbeat "
+           << "into DIR\n";
     if (acceptShape)
         os << "  --shape P[,P...]  shaping policies to sweep: none|"
            << "constant-rate|batch-jitter\n"
@@ -341,10 +345,145 @@ Sweep::run()
         cfg.observe.histJsonOut =
             observe_dir_ + "/HIST_" + h + ".json";
         cfg.observe.wireOut = observe_dir_ + "/WIRE_" + h + ".json";
+        cfg.observe.profOut = observe_dir_ + "/PROF_" + h + ".json";
         cfg.observe.metricsInterval = observe_interval_;
         observe_index.push_back(
             IndexEntry{h, configKey(workload, cfg)});
         return cfg;
+    };
+
+    // Incremental OBSERVE_INDEX: rewritten through an atomic
+    // tmp-file + rename after every harvested job, listing only the
+    // entries whose runs have been harvested so far — a killed
+    // campaign keeps a valid index of completed artifacts, and the
+    // final rewrite is byte-identical to the historical post-sweep
+    // write.
+    std::set<std::string> harvested;
+    auto writeIndex = [&]() {
+        if (observe_dir_.empty())
+            return;
+        const std::string path =
+            observe_dir_ + "/OBSERVE_INDEX.json";
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream os(tmp);
+            if (!os) {
+                warn("cannot write '%s'", tmp.c_str());
+                return;
+            }
+            JsonWriter w(os);
+            w.beginObject();
+            w.field("interval", static_cast<std::uint64_t>(
+                                    observe_interval_));
+            w.key("runs");
+            w.beginArray();
+            for (const IndexEntry &e : observe_index) {
+                if (harvested.find(e.hash) == harvested.end())
+                    continue;
+                w.beginObject();
+                w.field("hash", e.hash);
+                w.field("key", e.key);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            os << "\n";
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
+            warn("cannot rename '%s': %s", tmp.c_str(),
+                 ec.message().c_str());
+    };
+    auto harvestedJob = [&](const std::string &workload,
+                            const ExperimentConfig &cfg) {
+        if (observe_dir_.empty())
+            return;
+        harvested.insert(configHash(workload, cfg));
+        writeIndex();
+    };
+
+    // Campaign heartbeat: every job appends queued/started/finished
+    // lines to an append-only PROGRESS.jsonl (one JSON object per
+    // line) so a long campaign's health — throughput, stragglers, a
+    // running ETA — is observable while it runs. Wall-clock data
+    // lives only here and in PROF files, never in sim artifacts.
+    std::ofstream progress;
+    std::mutex prog_mu;
+    std::uint64_t submitted = 0; ///< guarded by prog_mu
+    std::uint64_t finished = 0;  ///< guarded by prog_mu
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    auto secsSince = [sweep_t0]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - sweep_t0)
+            .count();
+    };
+    if (!observe_dir_.empty()) {
+        progress.open(observe_dir_ + "/PROGRESS.jsonl",
+                      std::ios::app);
+        if (!progress)
+            warn("cannot open '%s/PROGRESS.jsonl'",
+                 observe_dir_.c_str());
+    }
+    auto submitJob = [&](const std::string &workload,
+                         const ExperimentConfig &cfg) {
+        if (!progress.is_open())
+            return pool.submit(workload, cfg);
+        const std::string h = configHash(workload, cfg);
+        std::uint64_t seq = 0;
+        {
+            std::lock_guard<std::mutex> g(prog_mu);
+            seq = submitted++;
+            JsonWriter w(progress);
+            w.beginObject();
+            w.field("event", std::string("queued"));
+            w.field("seq", seq);
+            w.field("hash", h);
+            w.field("workload", workload);
+            w.endObject();
+            progress << "\n" << std::flush;
+        }
+        return pool.submitTask([&, workload, cfg, h, seq]() {
+            {
+                std::lock_guard<std::mutex> g(prog_mu);
+                JsonWriter w(progress);
+                w.beginObject();
+                w.field("event", std::string("started"));
+                w.field("seq", seq);
+                w.field("hash", h);
+                w.field("workload", workload);
+                w.field("tSec", secsSince());
+                w.endObject();
+                progress << "\n" << std::flush;
+            }
+            const double t0 = secsSince();
+            RunResult r = runWorkload(workload, cfg);
+            const double wall = secsSince() - t0;
+            {
+                std::lock_guard<std::mutex> g(prog_mu);
+                const std::uint64_t done = ++finished;
+                const double elapsed = secsSince();
+                const double eta =
+                    done > 0 && submitted > done
+                        ? elapsed / static_cast<double>(done) *
+                              static_cast<double>(submitted - done)
+                        : 0.0;
+                JsonWriter w(progress);
+                w.beginObject();
+                w.field("event", std::string("finished"));
+                w.field("seq", seq);
+                w.field("hash", h);
+                w.field("workload", workload);
+                w.field("tSec", elapsed);
+                w.field("wallSec", wall);
+                w.field("done", done);
+                w.field("total", submitted);
+                w.field("etaSec", eta);
+                w.endObject();
+                progress << "\n" << std::flush;
+            }
+            return r;
+        });
     };
 
     // Submit in deterministic (handle, seed) order. Baselines are
@@ -369,9 +508,9 @@ Sweep::run()
             if (it == baselines.end()) {
                 it = baselines
                          .emplace(key,
-                                  pool.submit(req.workload,
-                                              withObserve(
-                                                  req.workload, base))
+                                  submitJob(req.workload,
+                                            withObserve(
+                                                req.workload, base))
                                       .share())
                          .first;
                 ++baseline_runs_;
@@ -379,7 +518,7 @@ Sweep::run()
                 ++baseline_hits_;
             }
             norm_futs[i].base.push_back(it->second);
-            norm_futs[i].secure.push_back(pool.submit(
+            norm_futs[i].secure.push_back(submitJob(
                 req.workload, withObserve(req.workload, cfg)));
         }
     }
@@ -387,8 +526,12 @@ Sweep::run()
     std::vector<std::future<RunResult>> raw_futs;
     raw_futs.reserve(raw_.size());
     for (RawRequest &req : raw_)
-        raw_futs.push_back(pool.submit(
+        raw_futs.push_back(submitJob(
             req.workload, withObserve(req.workload, req.cfg)));
+
+    // Seed the index right away: a campaign killed before its first
+    // harvest still leaves a parseable (empty) manifest behind.
+    writeIndex();
 
     // Harvest in submission order; the reduction below is the exact
     // arithmetic of the historical serial runNormalized() loop, so
@@ -397,40 +540,21 @@ Sweep::run()
         NormRequest &req = norm_[i];
         for (int s = 1; s <= seeds_; ++s) {
             const std::size_t k = static_cast<std::size_t>(s - 1);
+            ExperimentConfig cfg = req.cfg;
+            cfg.seed = static_cast<std::uint64_t>(s);
             const RunResult &b = norm_futs[i].base[k].get();
+            harvestedJob(req.workload, baselineConfig(cfg));
             const RunResult r = norm_futs[i].secure[k].get();
+            harvestedJob(req.workload, cfg);
             req.result.time += normalizedTime(r, b) / seeds_;
             req.result.traffic += normalizedTraffic(r, b) / seeds_;
             if (s == seeds_)
                 req.result.sample = r;
         }
     }
-    for (std::size_t i = 0; i < raw_.size(); ++i)
+    for (std::size_t i = 0; i < raw_.size(); ++i) {
         raw_[i].result = raw_futs[i].get();
-
-    if (!observe_dir_.empty()) {
-        const std::string path =
-            observe_dir_ + "/OBSERVE_INDEX.json";
-        std::ofstream os(path);
-        if (!os) {
-            warn("cannot write '%s'", path.c_str());
-            return;
-        }
-        JsonWriter w(os);
-        w.beginObject();
-        w.field("interval", static_cast<std::uint64_t>(
-                                observe_interval_));
-        w.key("runs");
-        w.beginArray();
-        for (const IndexEntry &e : observe_index) {
-            w.beginObject();
-            w.field("hash", e.hash);
-            w.field("key", e.key);
-            w.endObject();
-        }
-        w.endArray();
-        w.endObject();
-        os << "\n";
+        harvestedJob(raw_[i].workload, raw_[i].cfg);
     }
 }
 

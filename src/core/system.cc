@@ -432,6 +432,25 @@ MultiGpuSystem::enableAttribution()
 }
 
 void
+MultiGpuSystem::enableProfiler()
+{
+    if (prof_)
+        return;
+    // One span lane per kernel worker: the kernel pins domain d to
+    // worker d % threads, so lane attribution must be built from the
+    // same (already clamped) thread count to keep every lane
+    // single-writer.
+    const unsigned workers = sharded() ? sim_threads_ : 1;
+    const unsigned doms =
+        sharded() ? static_cast<unsigned>(domains_.size()) : 1;
+    prof_ = std::make_unique<Profiler>(workers, doms);
+    eq_.setProfiler(prof_.get());
+    for (std::size_t d = 1; d < domains_.size(); ++d)
+        domains_[d]->eq().setProfiler(prof_.get());
+    prof_->start();
+}
+
+void
 MultiGpuSystem::enableWireObserver()
 {
     if (wire_)
@@ -481,57 +500,86 @@ MultiGpuSystem::openObservability()
                       cfg_.observe.metricsRing);
     if (!cfg_.observe.wireOut.empty())
         enableWireObserver();
+    if (!cfg_.observe.profOut.empty()) {
+        enableProfiler();
+        if (cfg_.observe.profHostTrack && trace_)
+            prof_->setHostTrack(trace_.get());
+    }
 }
 
 void
 MultiGpuSystem::flushObservability()
 {
     observ_flushed_ = true;
-    if (sampler_) {
-        // Final snapshot so short runs and run tails are captured.
-        if (sharded() && parallel_end_ > 0)
-            sampler_->sampleAt(parallel_end_);
-        else
-            sampler_->sampleNow();
-        if (!cfg_.observe.metricsOut.empty()) {
-            std::ofstream f(cfg_.observe.metricsOut);
+    {
+        // The profiler times the flush itself (it is real wall time
+        // a sweep job spends off the hot path); the span must close
+        // before the profiler's own outputs are drained and written.
+        ProfSpan span(prof_.get(), 0, kProfSinkFlush);
+        if (sampler_) {
+            // Final snapshot so short runs and run tails are
+            // captured.
+            if (sharded() && parallel_end_ > 0)
+                sampler_->sampleAt(parallel_end_);
+            else
+                sampler_->sampleNow();
+            if (!cfg_.observe.metricsOut.empty()) {
+                std::ofstream f(cfg_.observe.metricsOut);
+                if (!f) {
+                    warn("cannot open metrics output '%s'",
+                         cfg_.observe.metricsOut.c_str());
+                } else {
+                    sampler_->writeJson(f);
+                }
+            }
+        }
+        if (!cfg_.observe.statsJsonOut.empty()) {
+            std::ofstream f(cfg_.observe.statsJsonOut);
             if (!f) {
-                warn("cannot open metrics output '%s'",
-                     cfg_.observe.metricsOut.c_str());
+                warn("cannot open stats output '%s'",
+                     cfg_.observe.statsJsonOut.c_str());
             } else {
-                sampler_->writeJson(f);
+                dumpStatsJson(f);
+            }
+        }
+        if (attr_ && !cfg_.observe.histJsonOut.empty()) {
+            std::ofstream f(cfg_.observe.histJsonOut);
+            if (!f) {
+                warn("cannot open histogram output '%s'",
+                     cfg_.observe.histJsonOut.c_str());
+            } else {
+                attr_->writeJson(f);
+            }
+        }
+        if (wire_ && !cfg_.observe.wireOut.empty()) {
+            std::ofstream f(cfg_.observe.wireOut);
+            if (!f) {
+                warn("cannot open wire-observer output '%s'",
+                     cfg_.observe.wireOut.c_str());
+            } else {
+                wire_->writeJson(f);
+            }
+        }
+    }
+    if (prof_) {
+        // Threads are joined by now, so draining every lane's host
+        // spans here is single-threaded; the trace must still be
+        // open for them.
+        for (unsigned l = 0; l < prof_->workers(); ++l)
+            prof_->drainHostTrack(l);
+        prof_->finish();
+        if (!cfg_.observe.profOut.empty()) {
+            std::ofstream f(cfg_.observe.profOut);
+            if (!f) {
+                warn("cannot open profiler output '%s'",
+                     cfg_.observe.profOut.c_str());
+            } else {
+                prof_->writeJson(f);
             }
         }
     }
     if (trace_)
         trace_->finish();
-    if (!cfg_.observe.statsJsonOut.empty()) {
-        std::ofstream f(cfg_.observe.statsJsonOut);
-        if (!f) {
-            warn("cannot open stats output '%s'",
-                 cfg_.observe.statsJsonOut.c_str());
-        } else {
-            dumpStatsJson(f);
-        }
-    }
-    if (attr_ && !cfg_.observe.histJsonOut.empty()) {
-        std::ofstream f(cfg_.observe.histJsonOut);
-        if (!f) {
-            warn("cannot open histogram output '%s'",
-                 cfg_.observe.histJsonOut.c_str());
-        } else {
-            attr_->writeJson(f);
-        }
-    }
-    if (wire_ && !cfg_.observe.wireOut.empty()) {
-        std::ofstream f(cfg_.observe.wireOut);
-        if (!f) {
-            warn("cannot open wire-observer output '%s'",
-                 cfg_.observe.wireOut.c_str());
-        } else {
-            wire_->writeJson(f);
-        }
-    }
 }
 
 std::uint64_t
@@ -572,6 +620,7 @@ MultiGpuSystem::runParallel()
     for (auto &d : domains_)
         kc.domains.push_back(d.get());
     kc.threads = sim_threads_;
+    kc.profiler = prof_.get();
     // Conservative lookahead: no domain can affect another sooner
     // than the fastest cross-domain wire of the selected fabric.
     kc.lookahead = net_->topology().minLatency();
@@ -663,10 +712,35 @@ MultiGpuSystem::run()
     if (sharded()) {
         runParallel();
     } else {
-        while (done_gpus_ < cfg_.numGpus &&
-               eq_.now() <= cfg_.maxCycles) {
-            if (!eq_.runOne())
-                break;
+        if (prof_) {
+            // Sliced timing: clock a bounded batch of events as one
+            // serialExec span so the per-event steady_clock cost
+            // stays amortized. The loop evaluates exactly the same
+            // conditions in the same order as the legacy loop below,
+            // so event execution is identical.
+            constexpr std::uint64_t kSlice = 4096;
+            bool live = true;
+            while (live && done_gpus_ < cfg_.numGpus &&
+                   eq_.now() <= cfg_.maxCycles) {
+                const std::uint64_t t0 = Profiler::nowNs();
+                std::uint64_t n = 0;
+                do {
+                    if (!eq_.runOne()) {
+                        live = false;
+                        break;
+                    }
+                    ++n;
+                } while (n < kSlice && done_gpus_ < cfg_.numGpus &&
+                         eq_.now() <= cfg_.maxCycles);
+                if (n > 0)
+                    prof_->serialSlice(t0, Profiler::nowNs(), n);
+            }
+        } else {
+            while (done_gpus_ < cfg_.numGpus &&
+                   eq_.now() <= cfg_.maxCycles) {
+                if (!eq_.runOne())
+                    break;
+            }
         }
         if (net_->canonicalWireOrder() &&
             done_gpus_ >= cfg_.numGpus) {
@@ -677,7 +751,15 @@ MultiGpuSystem::run()
             // flushes) fire in both kernels or in neither — without
             // this the two disagree on trailing control traffic.
             const Tick L = net_->topology().minLatency();
-            eq_.run(eq_.now() / L * L + L - 1);
+            const Tick tail_end = eq_.now() / L * L + L - 1;
+            if (prof_) {
+                const std::uint64_t t0 = Profiler::nowNs();
+                const std::uint64_t n = eq_.run(tail_end);
+                if (n > 0)
+                    prof_->serialSlice(t0, Profiler::nowNs(), n);
+            } else {
+                eq_.run(tail_end);
+            }
         }
     }
     flushObservability();

@@ -26,6 +26,7 @@
 #include "sim/event_queue.hh"
 #include "sim/latency_attr.hh"
 #include "sim/metric_sampler.hh"
+#include "sim/profiler.hh"
 #include "sim/trace_sink.hh"
 #include "sim/wire_observer.hh"
 #include "workload/profile.hh"
@@ -50,6 +51,17 @@ struct ObserveConfig
     std::string histJsonOut;
     /** Passive wire-observer dump (WIRE_<hash>.json schema). */
     std::string wireOut;
+    /** Host-side self-profiler dump (PROF_<hash>.json schema). */
+    std::string profOut;
+    /**
+     * Mirror profiler spans into the Chrome trace as a second
+     * ("host", pid 1) process track. Off by default even when both
+     * the profiler and the trace are on, because host spans carry
+     * wall-clock timestamps and would break the trace's byte-for-
+     * byte determinism contract (run-to-run and across thread
+     * counts). Requires profOut and traceOut.
+     */
+    bool profHostTrack = false;
     /** Cycles between metric samples. */
     Cycles metricsInterval = 1000;
     /** Metric ring rows kept (oldest rows drop beyond this). */
@@ -65,7 +77,7 @@ struct ObserveConfig
     {
         return !metricsOut.empty() || !traceOut.empty() ||
                !statsJsonOut.empty() || !histJsonOut.empty() ||
-               !wireOut.empty() || latencyAttr;
+               !wireOut.empty() || !profOut.empty() || latencyAttr;
     }
 };
 
@@ -254,8 +266,18 @@ class MultiGpuSystem
      */
     void enableAttribution();
 
+    /**
+     * Attach the host-side self-profiler (sim/profiler.hh). Call
+     * before run(); idempotent. Never touches sim results or
+     * deterministic artifacts — its wall-clock data goes only to
+     * observe.profOut (and, with profHostTrack, a separate trace
+     * process track).
+     */
+    void enableProfiler();
+
     const TraceSink *traceSink() const { return trace_.get(); }
     const MetricSampler *metrics() const { return sampler_.get(); }
+    const Profiler *profiler() const { return prof_.get(); }
     const WireObserver *wireObserver() const { return wire_.get(); }
     const LatencyAttribution *attribution() const
     {
@@ -309,6 +331,7 @@ class MultiGpuSystem
     std::unique_ptr<MetricSampler> sampler_;
     std::unique_ptr<LatencyAttribution> attr_;
     std::unique_ptr<WireObserver> wire_;
+    std::unique_ptr<Profiler> prof_;
     /** openObservability() ran (destructor may need to flush). */
     bool observ_opened_ = false;
     /** flushObservability() already ran (flush exactly once). */

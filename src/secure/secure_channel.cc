@@ -6,6 +6,7 @@
 
 #include "sim/latency_attr.hh"
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/trace_sink.hh"
 
 namespace mgsec
@@ -437,8 +438,14 @@ SecureChannel::batchMaskPad(NodeId sender, NodeId receiver,
 void
 SecureChannel::applyFunctionalSend(Packet &pkt)
 {
-    const crypto::MessagePad pad =
-        factory_->derive(self_, pkt.dst, pkt.msgCtr);
+    ProfSpan seal(eventq().profiler(), eventq().domainId(),
+                  kProfCryptoSeal);
+    crypto::MessagePad pad;
+    {
+        ProfSpan gen(eventq().profiler(), eventq().domainId(),
+                     kProfPadGen);
+        pad = factory_->derive(self_, pkt.dst, pkt.msgCtr);
+    }
     auto fp = makeFunctionalPayload();
     crypto::BlockPayload cipher{};
     if (pkt.payloadBytes >= kBlockBytes) {
@@ -486,6 +493,8 @@ SecureChannel::finishFunctionalBatch(NodeId src,
     RecvBatch &rb = it->second;
     if (!rb.haveTrailer)
         return false;
+    ProfSpan open(eventq().profiler(), eventq().domainId(),
+                  kProfCryptoOpen);
     const crypto::MsgMac expect = factory_->batchMac(
         rb.macs, batchMaskPad(src, self_, batch_id));
     const bool ok = expect == rb.trailer;
@@ -502,8 +511,14 @@ SecureChannel::finishFunctionalBatch(NodeId src,
 bool
 SecureChannel::verifyFunctionalRecv(const Packet &pkt)
 {
-    const crypto::MessagePad pad =
-        factory_->derive(pkt.src, self_, pkt.msgCtr);
+    ProfSpan open(eventq().profiler(), eventq().domainId(),
+                  kProfCryptoOpen);
+    crypto::MessagePad pad;
+    {
+        ProfSpan gen(eventq().profiler(), eventq().domainId(),
+                     kProfPadGen);
+        pad = factory_->derive(pkt.src, self_, pkt.msgCtr);
+    }
     crypto::BlockPayload cipher{};
     if (pkt.func && pkt.func->hasCipher) {
         cipher = pkt.func->cipher;
@@ -630,6 +645,8 @@ SecureChannel::sendBatchTrailer(NodeId dst, std::uint64_t batch_id,
         auto it = batch_macs_out_.find(batch_id);
         if (it != batch_macs_out_.end()) {
             auto fp = makeFunctionalPayload();
+            ProfSpan seal(eventq().profiler(), eventq().domainId(),
+                          kProfCryptoSeal);
             fp->mac = factory_->batchMac(
                 it->second, batchMaskPad(self_, dst, batch_id));
             fp->hasMac = true;

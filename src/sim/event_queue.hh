@@ -37,6 +37,7 @@ namespace mgsec
 {
 
 class LatencyAttribution;
+class Profiler;
 class TraceSink;
 
 /**
@@ -180,6 +181,17 @@ class EventQueue
     /** Attach/detach the collector; the caller retains ownership. */
     void setAttribution(LatencyAttribution *attr) { attr_ = attr; }
 
+    /**
+     * Host-side self-profiler shared by every component on this
+     * queue, or nullptr when profiling is off — same
+     * single-pointer-test contract as traceSink(). Instrumented
+     * components pass domainId() so their spans land on the lane of
+     * the worker that owns this queue.
+     */
+    Profiler *profiler() const { return profiler_; }
+    /** Attach/detach the profiler; the caller retains ownership. */
+    void setProfiler(Profiler *prof) { profiler_ = prof; }
+
   private:
     struct Entry
     {
@@ -226,6 +238,7 @@ class EventQueue
     std::uint64_t executed_ = 0;
     TraceSink *trace_sink_ = nullptr;
     LatencyAttribution *attr_ = nullptr;
+    Profiler *profiler_ = nullptr;
 };
 
 } // namespace mgsec

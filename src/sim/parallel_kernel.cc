@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace mgsec
 {
@@ -24,11 +25,22 @@ ParallelKernel::ParallelKernel(ParallelKernelConfig cfg)
 void
 ParallelKernel::runDomains(unsigned worker, Tick window_end)
 {
+    Profiler *prof = cfg_.profiler;
     for (std::size_t d = worker; d < cfg_.domains.size();
          d += threads_) {
         Domain &dom = *cfg_.domains[d];
         Domain::Scope scope(dom);
-        executed_[d] = dom.eq().run(window_end);
+        // Clock only domains with runnable work: run() is a no-op on
+        // an idle domain, so skipping the clock there keeps the
+        // per-window profiling cost proportional to actual work.
+        if (prof && dom.eq().nextPendingTick() <= window_end) {
+            const std::uint64_t t0 = Profiler::nowNs();
+            executed_[d] = dom.eq().run(window_end);
+            prof->domainExec(static_cast<DomainId>(d), t0,
+                             Profiler::nowNs(), executed_[d]);
+        } else {
+            executed_[d] = dom.eq().run(window_end);
+        }
     }
 }
 
@@ -57,17 +69,29 @@ ParallelKernel::run(Tick from)
     for (unsigned w = 1; w < threads_; ++w) {
         pool.emplace_back([this, w, &sync, &window_end, &stop,
                            &errors]() {
+            Profiler *prof = cfg_.profiler;
             if (cfg_.workerStart)
                 cfg_.workerStart(w);
+            // A worker's parked stretch runs from finishing its last
+            // domain (or thread start) to waking at the next window
+            // release — spanning the closed-window barrier AND the
+            // coordinator's single-threaded barrier phase, which is
+            // exactly the time this worker could not use.
+            std::uint64_t bw0 = prof ? Profiler::nowNs() : 0;
             while (true) {
                 sync.arrive_and_wait(); // window published
                 if (stop)
                     break;
+                if (prof)
+                    prof->record(w, kProfBarrierWait, bw0,
+                                 Profiler::nowNs());
                 try {
                     runDomains(w, window_end);
                 } catch (...) {
                     errors[w] = std::current_exception();
                 }
+                if (prof)
+                    bw0 = Profiler::nowNs();
                 sync.arrive_and_wait(); // window closed
             }
             if (cfg_.workerEnd)
@@ -88,8 +112,21 @@ ParallelKernel::run(Tick from)
         } catch (...) {
             errors[0] = std::current_exception();
         }
-        if (threads_ > 1)
-            sync.arrive_and_wait(); // all domains quiesced
+        // The coordinator's barrier wait is the straggler gap: time
+        // between finishing its own domains and the slowest worker
+        // quiescing. Not measured on serial-fallback runs (no
+        // barrier, the wait is identically zero).
+        Profiler *const prof = cfg_.profiler;
+        if (threads_ > 1) {
+            if (prof) {
+                const std::uint64_t bw0 = Profiler::nowNs();
+                sync.arrive_and_wait(); // all domains quiesced
+                prof->record(0, kProfBarrierWait, bw0,
+                             Profiler::nowNs());
+            } else {
+                sync.arrive_and_wait(); // all domains quiesced
+            }
+        }
         ++windows_;
 
         bool failed = false;
@@ -110,14 +147,20 @@ ParallelKernel::run(Tick from)
         // window execution: workers are parked at the next barrier
         // and must be released before the exception can unwind.
         try {
-            if (cfg_.exchange)
+            if (cfg_.exchange) {
+                ProfSpan span(prof, 0, kProfCaptureReplay);
                 crossings_ += cfg_.exchange();
-            if (cfg_.atBarrier)
+            }
+            if (cfg_.atBarrier) {
+                ProfSpan span(prof, 0, kProfMetricFlush);
                 cfg_.atBarrier(window_end);
+            }
         } catch (...) {
             errors[0] = std::current_exception();
             break;
         }
+        if (prof)
+            prof->barrierEpilogue();
 
         // Advance, skipping windows no domain has work in. The
         // exchange above already scheduled every in-flight delivery,

@@ -49,6 +49,8 @@
 namespace mgsec
 {
 
+class Profiler;
+
 struct ParallelKernelConfig
 {
     /** The shards; index == DomainId. Not owned. */
@@ -86,6 +88,13 @@ struct ParallelKernelConfig
      */
     std::function<void(unsigned worker)> workerStart;
     std::function<void(unsigned worker)> workerEnd;
+    /**
+     * Host-side self-profiler, or nullptr when profiling is off.
+     * Must have been constructed with the same worker count the
+     * kernel ends up using (threads clamped to the domain count), so
+     * each profiler lane is written by exactly one thread.
+     */
+    Profiler *profiler = nullptr;
 };
 
 class ParallelKernel

@@ -60,14 +60,14 @@ TraceSink::takeEvents()
 }
 
 void
-TraceSink::prefix(char ph, std::uint32_t tid, const char *cat,
-                  const char *name, Tick ts)
+TraceSink::prefixPid(char ph, unsigned pid, std::uint32_t tid,
+                     const char *cat, const char *name, Tick ts)
 {
     os_ << (embedded_ || events_ ? ",\n" : "\n");
     ++events_;
-    os_ << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid
-        << ",\"cat\":\"" << cat << "\",\"name\":\"" << name
-        << "\",\"ts\":" << ts;
+    os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"cat\":\"" << cat
+        << "\",\"name\":\"" << name << "\",\"ts\":" << ts;
 }
 
 void
@@ -112,6 +112,26 @@ TraceSink::counter(std::uint32_t tid, const char *cat,
 {
     prefix('C', tid, cat, name, ts);
     os_ << ",\"args\":{\"" << name << "\":" << value << "}}";
+}
+
+void
+TraceSink::hostComplete(std::uint32_t tid, const char *cat,
+                        const char *name, std::uint64_t start_us,
+                        std::uint64_t dur_us)
+{
+    prefixPid('X', 1, tid, cat, name, start_us);
+    os_ << ",\"dur\":" << dur_us << "}";
+}
+
+void
+TraceSink::hostMetadata(std::uint32_t tid, const char *what,
+                        const std::string &name)
+{
+    os_ << (embedded_ || events_ ? ",\n" : "\n");
+    ++events_;
+    os_ << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+        << what << "\",\"args\":{\"name\":\""
+        << JsonWriter::escape(name) << "\"}}";
 }
 
 void

@@ -93,6 +93,20 @@ class TraceSink
     void metadata(std::uint32_t tid, const char *what,
                   const std::string &name);
 
+    /**
+     * @name Host (wall-clock) track — pid 1
+     * The self-profiler's spans live in a second process track so
+     * wall-clock microseconds sit beside (never mixed into) the
+     * sim-tick lanes of pid 0. tid is the kernel worker lane.
+     */
+    /// @{
+    void hostComplete(std::uint32_t tid, const char *cat,
+                      const char *name, std::uint64_t start_us,
+                      std::uint64_t dur_us);
+    void hostMetadata(std::uint32_t tid, const char *what,
+                      const std::string &name);
+    /// @}
+
     /** Close the traceEvents array; idempotent, called by ~TraceSink. */
     void finish();
 
@@ -114,7 +128,12 @@ class TraceSink
   private:
     /** Common prefix up to (but not including) the closing brace. */
     void prefix(char ph, std::uint32_t tid, const char *cat,
-                const char *name, Tick ts);
+                const char *name, Tick ts)
+    {
+        prefixPid(ph, 0, tid, cat, name, ts);
+    }
+    void prefixPid(char ph, unsigned pid, std::uint32_t tid,
+                   const char *cat, const char *name, Tick ts);
 
     std::ostream &os_;
     std::uint64_t events_ = 0;

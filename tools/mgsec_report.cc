@@ -70,7 +70,13 @@ usage(const char *argv0, int status)
        << "  --leakage-json FILE  also write the leakage/frontier "
        << "section as JSON\n"
        << "                     (report mode on an --observe "
-       << "directory with WIRE files)\n";
+       << "directory with WIRE files)\n"
+       << "  --prof             INPUT is a PROF_*.json self-profiler "
+       << "dump (or an\n"
+       << "                     --observe directory with PROF files): "
+       << "print the\n"
+       << "                     host phase breakdown and PDES "
+       << "efficiency verdict\n";
     return status;
 }
 
@@ -174,6 +180,89 @@ reportDocument(const JsonValue &doc, const std::string &what)
     if (doc.find("scheme") || doc.find("folds"))
         std::printf("\n");
     printAttrTable(*attr);
+    return true;
+}
+
+/**
+ * Self-profiler report mode over one PROF_*.json document: phase
+ * breakdown plus the PDES efficiency verdict. Times in the document
+ * are nanoseconds; the table prints microseconds/milliseconds.
+ */
+bool
+reportProf(const JsonValue &doc, const std::string &what)
+{
+    const JsonValue *phases = doc.find("phases");
+    if (!phases || !phases->isObject()) {
+        std::fprintf(stderr,
+                     "%s: no \"phases\" group (not a PROF_*.json "
+                     "self-profiler dump?)\n",
+                     what.c_str());
+        return false;
+    }
+    std::printf("host profile: %.0f worker(s), %.0f domain(s), "
+                "%.1f ms wall, %.0f spans",
+                num(doc, "threads"), num(doc, "domains"),
+                num(doc, "wallNs") / 1e6, num(doc, "spans"));
+    if (const double dropped = num(doc, "droppedTraceSpans"))
+        std::printf(" (%.0f trace spans dropped)", dropped);
+    std::printf("\n");
+
+    // Share is of summed phase time. cryptoSeal/cryptoOpen enclose
+    // padGen, so the column can exceed 100% in crypto-heavy runs —
+    // it ranks phases, it is not a partition of wall time.
+    std::vector<Row> rows;
+    double totalSum = 0.0;
+    for (const auto &[name, h] : phases->fields) {
+        Row r = makeRow(name, &h);
+        if (r.present && r.count > 0) {
+            totalSum += r.sum;
+            rows.push_back(std::move(r));
+        }
+    }
+    std::printf("  %-13s %10s %11s %11s %11s %11s %7s\n", "phase",
+                "spans", "mean us", "p50 us", "p99 us", "total ms",
+                "%time");
+    for (const Row &r : rows)
+        std::printf("  %-13s %10.0f %11.1f %11.1f %11.1f %11.2f "
+                    "%6.1f%%\n",
+                    r.label.c_str(), r.count, r.mean / 1e3,
+                    r.p50 / 1e3, r.p99 / 1e3, r.sum / 1e6,
+                    totalSum > 0 ? 100.0 * r.sum / totalSum : 0.0);
+
+    const JsonValue *pdes = doc.find("pdes");
+    if (!pdes || num(*pdes, "windows") == 0) {
+        std::printf("pdes: serial run (no barrier windows)\n");
+        return true;
+    }
+    const JsonValue *stall = pdes->find("topStallPhase");
+    std::printf("pdes: %.0f windows, parallel efficiency %.1f%%, "
+                "imbalance %.2fx,\n"
+                "      barrier-wait %.1f%% of exec+wait, top stall: "
+                "%s\n",
+                num(*pdes, "windows"),
+                num(*pdes, "parallelEfficiencyPct"),
+                num(*pdes, "imbalance"),
+                100.0 * num(*pdes, "barrierFrac"),
+                stall && stall->isString() ? stall->string.c_str()
+                                           : "none");
+    if (const JsonValue *workers = pdes->find("workers")) {
+        std::printf("  %-8s %14s %12s %14s\n", "worker", "events",
+                    "busy ms", "events/s");
+        for (const JsonValue &wv : workers->items)
+            std::printf("  %-8.0f %14.0f %12.2f %14.0f\n",
+                        num(wv, "worker"), num(wv, "events"),
+                        num(wv, "busyNs") / 1e6,
+                        num(wv, "eventsPerSec"));
+    }
+    if (const JsonValue *doms = pdes->find("domains")) {
+        std::printf("  %-8s %14s %12s %14s\n", "domain", "events",
+                    "busy ms", "windows");
+        for (const JsonValue &dv : doms->items)
+            std::printf("  %-8.0f %14.0f %12.2f %14.0f\n",
+                        num(dv, "domain"), num(dv, "events"),
+                        num(dv, "busyNs") / 1e6,
+                        num(dv, "windowsActive"));
+    }
     return true;
 }
 
@@ -512,16 +601,14 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> inputs;
-    std::vector<std::string> ignores = {
-        // Wall-clock-derived rates vary run to run on a shared CI
-        // host; the simulated counters are the deterministic gate.
-        "wallSec", "PerSec", "MBps", "perSec", "speedup",
-        "overheadPct",
-    };
+    // Wall-clock-derived keys vary run to run on a shared CI host;
+    // the simulated counters are the deterministic gate.
+    std::vector<std::string> ignores = mgsec::defaultCompareIgnores();
     double threshold = 10.0;
     std::string outPath = "BENCH_report.json";
     std::string leakageJson;
     bool compare = false;
+    bool prof = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -537,6 +624,8 @@ main(int argc, char **argv)
             return usage(argv[0], 0);
         } else if (arg == "--compare") {
             compare = true;
+        } else if (arg == "--prof") {
+            prof = true;
         } else if (arg == "--threshold") {
             threshold = std::atof(value());
             if (!(threshold >= 0.0)) {
@@ -575,8 +664,17 @@ main(int argc, char **argv)
                     return false;
                 for (const auto &[hash, key] : idx) {
                     JsonValue doc;
-                    const std::string path =
-                        in + "/STATS_" + hash + ".json";
+                    const std::string path = in + "/" +
+                        (prof ? "PROF_" : "STATS_") + hash + ".json";
+                    if (prof &&
+                        !static_cast<bool>(std::ifstream(path))) {
+                        // mgsec_run --observe-dir bundles carry no
+                        // PROF file; a killed sweep may index runs
+                        // it never profiled. Report what exists.
+                        std::fprintf(stderr, "%s: absent, skipped\n",
+                                     path.c_str());
+                        continue;
+                    }
                     if (!mgsec::jsonParseFile(path, doc, err)) {
                         std::fprintf(stderr, "%s: %s\n", path.c_str(),
                                      err.c_str());
@@ -605,9 +703,13 @@ main(int argc, char **argv)
         for (const auto &[name, doc] : oldDocs) {
             if (!name.empty())
                 std::printf("== run %s ==\n", name.c_str());
-            any |= reportDocument(doc, name.empty() ? inputs[0]
-                                                    : name);
+            const std::string what =
+                name.empty() ? inputs[0] : name;
+            any |= prof ? reportProf(doc, what)
+                        : reportDocument(doc, what);
         }
+        if (prof)
+            return any ? 0 : 2;
         if (isObserveDir(inputs[0])) {
             std::vector<std::pair<std::string, std::string>> idx;
             if (loadIndex(inputs[0], idx)) {

@@ -28,6 +28,7 @@ main(int argc, char **argv)
     RunOptions opts;
     if (!opts.parse(argc, argv))
         return 1;
+    opts.finalizeProfiler();
     if (!opts.finalizeObservability())
         return 1;
 
@@ -145,6 +146,11 @@ main(int argc, char **argv)
                   << "\n";
     if (!obs.wireOut.empty())
         std::cout << "wire observer written to " << obs.wireOut
+                  << "\n";
+    if (!obs.profOut.empty())
+        std::cout << "profiler written to " << obs.profOut
+                  << (obs.profHostTrack ? " (host track in trace)"
+                                        : "")
                   << "\n";
 
     if (!opts.observeDir.empty()) {
